@@ -1,0 +1,56 @@
+"""Ablation A1: does the cost model matter?
+
+Compile the same kernel picking the best-estimated plan vs. the
+worst-estimated legal plan, and execute both (paper Section 4.2: the search
+"estimates the cost of each code and selects the best one")."""
+
+import numpy as np
+import pytest
+
+from repro.util.timing import best_of
+from benchmarks.conftest import BENCH_N, bench_lower, compiled, fmt_instance
+
+
+@pytest.mark.parametrize("fmt", ["jad", "csc"])
+def test_cost_model_picks_faster_plan(fmt, capsys):
+    L = fmt_instance("lower", fmt)
+    b0 = np.random.default_rng(7).random(BENCH_N)
+    k_best = compiled("ts_lower", fmt, "lower", "L", pick="best")
+    k_worst = compiled("ts_lower", fmt, "lower", "L", pick="worst")
+    fn_best = k_best.callable()
+    fn_worst = k_worst.callable()
+
+    out_b = b0.copy()
+    fn_best({"L": L, "b": out_b}, {"n": BENCH_N})
+    out_w = b0.copy()
+    fn_worst({"L": L, "b": out_w}, {"n": BENCH_N})
+    assert np.allclose(out_b, out_w, atol=1e-8)  # both correct
+
+    t_best = best_of(lambda: fn_best({"L": L, "b": b0.copy()}, {"n": BENCH_N}),
+                     repeats=3)
+    t_worst = best_of(lambda: fn_worst({"L": L, "b": b0.copy()}, {"n": BENCH_N}),
+                      repeats=3)
+    with capsys.disabled():
+        print(f"\n    [{fmt}] best-plan {t_best*1e3:.2f} ms "
+              f"(est {k_best.cost:.0f}), worst-plan {t_worst*1e3:.2f} ms "
+              f"(est {k_worst.cost:.0f}), speedup {t_worst/t_best:.2f}x")
+    # estimated ordering must hold in reality (allowing ties)
+    assert t_best <= t_worst * 1.2
+
+
+@pytest.mark.parametrize("fmt", ["jad"])
+def test_best_plan_execution(benchmark, fmt):
+    L = fmt_instance("lower", fmt)
+    b0 = np.random.default_rng(7).random(BENCH_N)
+    fn = compiled("ts_lower", fmt, "lower", "L", pick="best").callable()
+    benchmark(lambda: fn({"L": L, "b": b0.copy()}, {"n": BENCH_N}))
+    benchmark.extra_info["series"] = "best-plan"
+
+
+@pytest.mark.parametrize("fmt", ["jad"])
+def test_worst_plan_execution(benchmark, fmt):
+    L = fmt_instance("lower", fmt)
+    b0 = np.random.default_rng(7).random(BENCH_N)
+    fn = compiled("ts_lower", fmt, "lower", "L", pick="worst").callable()
+    benchmark(lambda: fn({"L": L, "b": b0.copy()}, {"n": BENCH_N}))
+    benchmark.extra_info["series"] = "worst-plan"

@@ -1,0 +1,93 @@
+"""Ablation A4: guard simplification.
+
+The plan builder initially guards every statement with its full iteration
+domain; implication against the stored structure (plus enumerated ranges)
+prunes the guards a hand-written kernel would not write.  This bench runs
+the same chosen plan with and without the pruning pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecNode, LoopNode, VarLoopNode, compile_kernel
+from repro.ir.kernels import mvm, ts_lower
+from repro.util.timing import best_of
+from benchmarks.conftest import BENCH_N, bench_lower, bench_matrix, fmt_instance
+
+
+def _guard_count(plan):
+    total = 0
+
+    def walk(nodes):
+        nonlocal total
+        for n in nodes:
+            if isinstance(n, ExecNode):
+                total += len(n.guards)
+            elif isinstance(n, LoopNode):
+                walk(n.before)
+                walk(n.body)
+                walk(n.after)
+            elif isinstance(n, VarLoopNode):
+                walk(n.body)
+
+    walk(plan.nodes)
+    return total
+
+
+@pytest.mark.parametrize("kernel_name,fmt,kind,arr", [
+    ("ts_lower", "csr", "lower", "L"),
+    ("mvm", "csr", "full", "A"),
+])
+def test_guard_pruning_pays(kernel_name, fmt, kind, arr, capsys):
+    from repro.ir.kernels import ALL_KERNELS
+
+    inst = fmt_instance(kind, fmt)
+    prog_on = ALL_KERNELS[kernel_name]()
+    prog_off = ALL_KERNELS[kernel_name]()
+    k_on = compile_kernel(prog_on, {arr: inst})
+    k_off = compile_kernel(prog_off, {arr: inst}, simplify_guards=False)
+    g_on, g_off = _guard_count(k_on.plan), _guard_count(k_off.plan)
+    assert g_on < g_off
+
+    b0 = np.random.default_rng(7).random(BENCH_N)
+    x = np.random.default_rng(8).random(BENCH_N)
+    y = np.zeros(BENCH_N)
+
+    if kernel_name == "ts_lower":
+        args_on = lambda: ({arr: inst, "b": b0.copy()}, {"n": BENCH_N})  # noqa: E731
+    else:
+        args_on = lambda: ({arr: inst, "x": x, "y": y},                  # noqa: E731
+                           {"m": BENCH_N, "n": BENCH_N})
+
+    fn_on, fn_off = k_on.callable(), k_off.callable()
+    # identical results
+    a1, p1 = args_on()
+    fn_on(a1, p1)
+    r_on = dict(a1)
+    a2, p2 = args_on()
+    fn_off(a2, p2)
+    for name in a2:
+        if name == arr:
+            continue
+        v1 = r_on[name] if kernel_name == "mvm" else a1[name]
+        assert np.allclose(np.asarray(a2[name], dtype=float),
+                           np.asarray(v1, dtype=float))
+
+    t_on = best_of(lambda: fn_on(*args_on()), repeats=3)
+    t_off = best_of(lambda: fn_off(*args_on()), repeats=3)
+    with capsys.disabled():
+        print(f"\n    [{kernel_name}/{fmt}] guards {g_off} -> {g_on}; "
+              f"time {t_off*1e3:.2f} ms -> {t_on*1e3:.2f} ms "
+              f"({t_off/t_on:.2f}x)")
+    assert t_on <= t_off * 1.15  # pruning never hurts
+
+
+@pytest.mark.parametrize("mode", ["simplified", "unsimplified"])
+def test_ts_guard_modes(benchmark, mode):
+    inst = fmt_instance("lower", "csr")
+    k = compile_kernel(ts_lower(), {"L": inst},
+                       simplify_guards=(mode == "simplified"))
+    fn = k.callable()
+    b0 = np.random.default_rng(7).random(BENCH_N)
+    benchmark(lambda: fn({"L": inst, "b": b0.copy()}, {"n": BENCH_N}))
+    benchmark.extra_info["series"] = mode

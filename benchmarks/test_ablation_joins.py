@@ -1,0 +1,78 @@
+"""Ablation A2: common enumerations (paper Section 4.1).
+
+``y = A x + A x`` with two references to A compiles to a *single* shared
+enumeration (the join).  The ablated version runs the one-reference MVM
+twice — two full walks of the structure.  The shared enumeration must win.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import LoopNode
+from repro.util.timing import best_of
+from benchmarks.conftest import BENCH_N, compiled, fmt_instance
+
+
+def _count_shared_roles(plan):
+    shared = 0
+
+    def walk(nodes):
+        nonlocal shared
+        for n in nodes:
+            if isinstance(n, LoopNode):
+                shared += sum(1 for r in n.roles if r.role == "shared")
+                walk(n.before)
+                walk(n.body)
+                walk(n.after)
+
+    walk(plan.nodes)
+    return shared
+
+
+@pytest.mark.parametrize("fmt", ["csr", "jad"])
+def test_two_references_share_one_enumeration(fmt, capsys):
+    A = fmt_instance("full", fmt)
+    x = np.random.default_rng(5).random(BENCH_N)
+    y = np.zeros(BENCH_N)
+
+    k2 = compiled("smvm_two", fmt, "full", "A")
+    assert _count_shared_roles(k2.plan) >= 1  # the join exists
+    fn2 = k2.callable()
+    k1 = compiled("mvm", fmt, "full", "A")
+    fn1 = k1.callable()
+
+    def joined():
+        fn2({"A": A, "x": x, "y": y}, {"m": BENCH_N, "n": BENCH_N})
+        return y
+
+    y_twice = np.zeros(BENCH_N)
+    tmp = np.zeros(BENCH_N)
+
+    def twice():
+        fn1({"A": A, "x": x, "y": y_twice}, {"m": BENCH_N, "n": BENCH_N})
+        fn1({"A": A, "x": x, "y": tmp}, {"m": BENCH_N, "n": BENCH_N})
+        np.add(y_twice, tmp, out=y_twice)
+        return y_twice
+
+    a = joined()
+    b = twice()
+    assert np.allclose(a, b, atol=1e-8)
+
+    t_joined = best_of(joined, repeats=3)
+    t_twice = best_of(twice, repeats=3)
+    with capsys.disabled():
+        print(f"\n    [{fmt}] shared enumeration {t_joined*1e3:.2f} ms, "
+              f"two enumerations {t_twice*1e3:.2f} ms "
+              f"({t_twice/t_joined:.2f}x)")
+    assert t_joined < t_twice
+
+
+@pytest.mark.parametrize("fmt", ["csr"])
+def test_joined_execution(benchmark, fmt):
+    A = fmt_instance("full", fmt)
+    x = np.random.default_rng(5).random(BENCH_N)
+    y = np.zeros(BENCH_N)
+    fn = compiled("smvm_two", fmt, "full", "A").callable()
+    benchmark(lambda: fn({"A": A, "x": x, "y": y},
+                         {"m": BENCH_N, "n": BENCH_N}))
+    benchmark.extra_info["series"] = "shared-enumeration"

@@ -1,0 +1,52 @@
+"""Extension bench (paper Section 6): automatic format selection, model vs
+ATLAS-style empirical, on the can_1072-like matrix and a pure band."""
+
+import numpy as np
+import pytest
+
+from repro.formats.generate import banded
+from repro.ir.kernels import mvm
+from repro.search import select_format
+from benchmarks.conftest import BENCH_N, bench_matrix
+
+
+def test_selection_table(capsys):
+    m = bench_matrix()
+    n = BENCH_N
+    x = np.random.default_rng(2).random(n)
+
+    def workload(fmt):
+        return ({"A": fmt, "x": x, "y": np.zeros(n)}, {"m": n, "n": n})
+
+    cands = ("csr", "csc", "coo", "ell", "jad", "msr")
+    res_model = select_format(mvm(), "A", m, candidates=cands)
+    res_emp = select_format(mvm(), "A", m, candidates=cands,
+                            mode="empirical", workload=workload, repeats=2)
+    with capsys.disabled():
+        print(f"\n== format selection for MVM on can_1072-like (n={n}) ==")
+        print(res_model.table())
+        print(res_emp.table())
+    name, inst, kernel = res_emp.best
+    y = np.zeros(n)
+    kernel({"A": inst, "x": x, "y": y}, {"m": n, "n": n})
+    assert np.allclose(y, m.to_dense() @ x, atol=1e-8)
+
+
+def test_band_matrix_selection(capsys):
+    n = min(BENCH_N, 512)
+    m = banded(n, bandwidth=2, seed=3)
+    res = select_format(mvm(), "A", m,
+                        candidates=("csr", "coo", "dia", "ell"))
+    with capsys.disabled():
+        print(f"\n== format selection for MVM on a band matrix (n={n}) ==")
+        print(res.table())
+    # the model must rank the diagonal structure first for a pure band
+    assert res.best[0] == "dia"
+
+
+def test_selection_compile_cost(benchmark):
+    """Selection compiles one kernel per candidate; time the whole loop."""
+    m = banded(64, bandwidth=1, seed=4)
+    benchmark.pedantic(
+        lambda: select_format(mvm(), "A", m, candidates=("csr", "coo", "dia")),
+        rounds=1, iterations=1)

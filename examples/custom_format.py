@@ -1,0 +1,176 @@
+"""The format-designer story (paper Section 2): define a brand-new format
+with the view grammar and a small runtime, and compile existing kernels for
+it without touching them.
+
+The format: "banded skyline by rows" — each row stores a contiguous column
+segment [first[r], first[r]+len[r]), the profile storage used by skyline
+solvers.  Its index structure is
+
+    r -> c -> v     with r an interval and c an interval per row
+
+which the grammar expresses directly; the columns being an *interval* (not
+a compressed list) is what distinguishes it from CSR.
+
+Run:  python examples/custom_format.py
+"""
+
+import numpy as np
+
+from repro import compile_kernel, kernels
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import Nest, Term, Value, interval_axis
+
+
+class SkylineMatrix(SparseFormat):
+    """Row-profile storage: per row a dense segment of columns."""
+
+    format_name = "sky"
+
+    def __init__(self, first, length, data, shape):
+        super().__init__(shape)
+        self.first = np.asarray(first, dtype=np.int64)    # (m,)
+        self.length = np.asarray(length, dtype=np.int64)  # (m,)
+        self.data = data                                  # list of row arrays
+
+    @property
+    def nnz(self):
+        return int(self.length.sum())
+
+    def get(self, r, c):
+        o = c - self.first[r]
+        if 0 <= o < self.length[r]:
+            return float(self.data[r][o])
+        return 0.0
+
+    def set(self, r, c, v):
+        o = c - self.first[r]
+        if 0 <= o < self.length[r]:
+            self.data[r][o] = v
+            return
+        raise KeyError((r, c))
+
+    def to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for r in range(self.nrows):
+            for o in range(self.length[r]):
+                rows.append(r)
+                cols.append(self.first[r] + o)
+                vals.append(self.data[r][o])
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals, dtype=np.float64))
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape):
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        m, n = shape
+        first = np.zeros(m, dtype=np.int64)
+        length = np.zeros(m, dtype=np.int64)
+        data = []
+        for r in range(m):
+            mask = rows == r
+            if mask.any():
+                lo = int(cols[mask].min())
+                hi = int(cols[mask].max()) + 1
+            else:
+                lo = hi = 0
+            first[r] = lo
+            length[r] = hi - lo
+            row = np.zeros(hi - lo)
+            row[cols[mask] - lo] = vals[mask]
+            data.append(row)
+        return cls(first, length, data, shape)
+
+    # -- the low-level API the compiler consumes -----------------------
+    def view(self) -> Term:
+        # r -> c -> v, both intervals: rows are random access, each row's
+        # columns are a contiguous, searchable segment
+        return Nest(interval_axis("r"), Nest(interval_axis("c"), Value()))
+
+    def path_ids(self):
+        return ["rows"]
+
+    def axis_total(self, axis_name):
+        return (0, self.nrows) if axis_name == "r" else None
+
+    def runtime(self, path_id):
+        fmt = self
+
+        class Rt(PathRuntime):
+            path = fmt.path(path_id)
+
+            def enumerate(self, step, prefix):
+                if step == 0:
+                    for r in range(fmt.nrows):
+                        yield (r,), r
+                else:
+                    (r,) = prefix
+                    for o in range(int(fmt.length[r])):
+                        yield (int(fmt.first[r]) + o, ), o
+
+            def search(self, step, prefix, keys):
+                if step == 0:
+                    (r,) = keys
+                    return r if 0 <= r < fmt.nrows else None
+                (r,) = prefix
+                (c,) = keys
+                o = c - int(fmt.first[r])
+                return o if 0 <= o < fmt.length[r] else None
+
+            def interval(self, step, prefix):
+                if step == 0:
+                    return (0, fmt.nrows)
+                (r,) = prefix
+                lo = int(fmt.first[r])
+                return (lo, lo + int(fmt.length[r]))
+
+            def get(self, prefix):
+                r, o = prefix
+                return float(fmt.data[r][o])
+
+            def set(self, prefix, value):
+                r, o = prefix
+                fmt.data[r][o] = value
+
+        return Rt()
+
+
+def main():
+    rng = np.random.default_rng(4)
+    # a banded-profile matrix
+    n = 40
+    dense = np.zeros((n, n))
+    for r in range(n):
+        lo = max(0, r - rng.integers(1, 4))
+        hi = min(n, r + rng.integers(1, 4))
+        dense[r, lo:hi] = rng.random(hi - lo) + 0.5
+
+    A = SkylineMatrix.from_dense(dense)
+    print(f"skyline matrix: {n}x{n}, nnz={A.nnz}")
+    print("index structure:", A.view())
+
+    x = rng.random(n)
+    for kname in ["mvm", "row_sums", "frobenius"]:
+        program = getattr(kernels, kname)()
+        kernel = compile_kernel(program, {"A": A})
+        if kname == "mvm":
+            y = np.zeros(n)
+            kernel({"A": A, "x": x, "y": y}, {"m": n, "n": n})
+            assert np.allclose(y, dense @ x)
+        elif kname == "row_sums":
+            s = np.zeros(n)
+            kernel({"A": A, "s": s}, {"m": n, "n": n})
+            assert np.allclose(s, dense.sum(axis=1))
+        else:
+            acc = np.array(0.0)
+            kernel({"A": A, "acc": acc}, {"m": n, "n": n})
+            assert np.allclose(acc, (dense * dense).sum())
+        print(f"  {kname:10s} compiled and verified "
+              f"({kernel.result.stats.generated} candidates searched)")
+
+    k = compile_kernel(kernels.mvm(), {"A": A})
+    print("\nMVM plan for the new format:")
+    print(k.pseudocode())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a reproduction of "A Framework for Sparse Matrix Code Synthesis
+from High-level Specifications" (Ahmed, Mateev, Pingali, Stodghill, SC 2000):
+the Bernoulli sparse compiler.
+
+Quickstart::
+
+    import numpy as np
+    from repro import compile_kernel, kernels, as_format
+
+    A = as_format(np.array([[2., 0.], [1., 3.]]), "csr")
+    k = compile_kernel(kernels.mvm(), {"A": A})
+    x = np.array([1., 1.]); y = np.zeros(2)
+    k({"A": A, "x": x, "y": y}, {"m": 2, "n": 2})
+
+Public surface:
+
+- :func:`compile_kernel` / :class:`CompiledKernel` — the compiler;
+- :mod:`repro.ir` (and :mod:`repro.ir.kernels` as ``repro.kernels``) — the
+  dense-program high-level API;
+- :mod:`repro.formats` — formats, the view grammar, I/O, generators
+  (``as_format`` / ``convert`` re-exported here);
+- :mod:`repro.blas` — hand-written and generic baseline kernels;
+- :mod:`repro.solvers` — format-independent iterative methods.
+"""
+
+from repro.core.compiler import CompiledKernel, compile_kernel
+from repro.formats.convert import as_format, convert
+from repro.ir import parse_program, program_to_text, execute_dense
+from repro.ir import kernels
+from repro.search.format_select import select_format
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "as_format",
+    "convert",
+    "parse_program",
+    "program_to_text",
+    "execute_dense",
+    "kernels",
+    "select_format",
+    "__version__",
+]

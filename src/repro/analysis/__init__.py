@@ -1,0 +1,29 @@
+"""Dependence analysis: flow-, anti- and output-dependences between
+statement instances, represented as *dependence classes* — systems of affine
+inequalities over source and destination instance variables (paper
+Section 3, ``D (i_s, i_d)^T + d >= 0``).
+"""
+
+from repro.analysis.accesses import Access, collect_accesses, accesses_to
+from repro.analysis.dependence import (
+    DependenceClass,
+    dependences,
+    SRC,
+    DST,
+    src_var,
+    dst_var,
+)
+from repro.analysis.summary import dependence_summary
+
+__all__ = [
+    "Access",
+    "collect_accesses",
+    "accesses_to",
+    "DependenceClass",
+    "dependences",
+    "SRC",
+    "DST",
+    "src_var",
+    "dst_var",
+    "dependence_summary",
+]

@@ -1,0 +1,74 @@
+"""Collection of array accesses from statements.
+
+An :class:`Access` records one read or write of one array in one statement,
+with its affine index functions over the statement's loop variables.  The
+dependence analysis pairs these up; the sparse-data-space construction
+(paper Section 4) attaches data dimensions to the *sparse* accesses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.expr import AffExpr
+from repro.ir.program import Program, StatementContext
+
+READ = "R"
+WRITE = "W"
+
+
+class Access:
+    """One array access: (statement, array, kind, index functions).
+
+    ``ref_id`` distinguishes multiple accesses to the same array within one
+    statement (e.g. the two reads of ``A[i][j]`` in ``smvm_two``); it is the
+    ordinal of the access within the statement (write first, then reads
+    left-to-right), so it is stable across reconstruction.
+    """
+
+    __slots__ = ("ctx", "array", "kind", "indices", "ref_id")
+
+    def __init__(self, ctx: StatementContext, array: str, kind: str,
+                 indices: Tuple[AffExpr, ...], ref_id: int):
+        self.ctx = ctx
+        self.array = array
+        self.kind = kind
+        self.indices = tuple(indices)
+        self.ref_id = ref_id
+
+    @property
+    def stmt_name(self) -> str:
+        return self.ctx.name
+
+    @property
+    def ndim(self) -> int:
+        return len(self.indices)
+
+    def key(self) -> Tuple[str, int]:
+        """(statement, ordinal) — unique within the program."""
+        return (self.stmt_name, self.ref_id)
+
+    def __repr__(self):
+        idx = "".join(f"[{i!r}]" for i in self.indices)
+        return f"<{self.kind} {self.array}{idx} in {self.stmt_name}#{self.ref_id}>"
+
+
+def collect_accesses(program: Program) -> List[Access]:
+    """All accesses of the program in deterministic order: statements in
+    syntactic order; within a statement the write first, then reads
+    left-to-right."""
+    out: List[Access] = []
+    for ctx in program.statements():
+        ordinal = 0
+        out.append(Access(ctx, ctx.stmt.lhs.array, WRITE, ctx.stmt.lhs.indices, ordinal))
+        for r in ctx.stmt.reads():
+            if r.array == "__var__":
+                continue
+            ordinal += 1
+            out.append(Access(ctx, r.array, READ, r.indices, ordinal))
+    return out
+
+
+def accesses_to(program: Program, array: str) -> List[Access]:
+    """All accesses touching ``array``."""
+    return [a for a in collect_accesses(program) if a.array == array]

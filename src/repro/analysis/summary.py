@@ -1,0 +1,22 @@
+"""Human-readable dependence summaries (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.dependence import DependenceClass, dependences
+from repro.ir.program import Program
+
+
+def dependence_summary(program: Program) -> str:
+    """A text table of the program's dependence classes."""
+    deps = dependences(program)
+    lines: List[str] = [f"dependences of {program.name}: {len(deps)} classes"]
+    for d in deps:
+        lv = "loop-independent" if d.level is None else f"level {d.level}"
+        lines.append(
+            f"  {d.kind:<6} {d.src.name} -> {d.dst.name}  on {d.array:<4} ({lv})"
+        )
+        for c in d.system:
+            lines.append(f"      {c!r}")
+    return "\n".join(lines)

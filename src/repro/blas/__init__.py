@@ -1,0 +1,25 @@
+"""Sparse BLAS layer: the baselines of the paper's evaluation.
+
+- :mod:`repro.blas.specialized` — hand-written per-format kernels, raw
+  index-array loops: the analog of the NIST Sparse BLAS *C* library the
+  paper compares against (specialized, one routine per format/operation).
+- :mod:`repro.blas.generic_` — format-agnostic kernels going through the
+  abstract element/enumeration interface: the analog of the less
+  specialized NIST *Fortran* library (a single code for many cases, paying
+  for the generality).
+- :mod:`repro.blas.dense_ref` — NumPy oracles for correctness checks.
+- :mod:`repro.blas.api` — uniform dispatch used by the solvers.
+"""
+
+from repro.blas.api import mvm, mvm_t, ts_lower_solve, ts_upper_solve
+from repro.blas import specialized, generic_, dense_ref
+
+__all__ = [
+    "mvm",
+    "mvm_t",
+    "ts_lower_solve",
+    "ts_upper_solve",
+    "specialized",
+    "generic_",
+    "dense_ref",
+]

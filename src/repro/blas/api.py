@@ -1,0 +1,54 @@
+"""Uniform BLAS dispatch: specialized kernel when one exists for the
+format, generic fallback otherwise.  This is the layer the iterative
+solvers (:mod:`repro.solvers`) call — the PETSc-style arrangement the paper
+describes in Section 1 (format-independent iterative methods linked against
+format-specific BLAS)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.blas import generic_, specialized
+from repro.formats.base import SparseFormat
+
+
+def mvm(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+    """y = A x."""
+    if y is None:
+        y = np.zeros(A.nrows)
+    fn = specialized.MVM.get(A.format_name)
+    if fn is not None:
+        return fn(A, x, y)
+    return generic_.mvm(A, x, y)
+
+
+def mvm_t(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+    """y = A^T x."""
+    if y is None:
+        y = np.zeros(A.ncols)
+    fn = specialized.MVM_T.get(A.format_name)
+    if fn is not None:
+        return fn(A, x, y)
+    return generic_.mvm_t(A, x, y)
+
+
+def ts_lower_solve(L: SparseFormat, b: np.ndarray, in_place: bool = False) -> np.ndarray:
+    """b := L^{-1} b (forward substitution)."""
+    if not in_place:
+        b = b.copy()
+    fn = specialized.TS_LOWER.get(L.format_name)
+    if fn is not None:
+        return fn(L, b)
+    return generic_.ts_lower_enum(L, b)
+
+
+def ts_upper_solve(U: SparseFormat, b: np.ndarray, in_place: bool = False) -> np.ndarray:
+    """b := U^{-1} b (backward substitution)."""
+    if not in_place:
+        b = b.copy()
+    fn = specialized.TS_UPPER.get(U.format_name)
+    if fn is not None:
+        return fn(U, b)
+    return generic_.ts_upper(U, b)

@@ -1,0 +1,35 @@
+"""NumPy oracles: ground truth for every BLAS operation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mvm(A: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return A @ x
+
+
+def mvm_t(A: np.ndarray, x: np.ndarray) -> np.ndarray:
+    return A.T @ x
+
+
+def ts_lower(L: np.ndarray, b: np.ndarray) -> np.ndarray:
+    import scipy.linalg as sla
+
+    return sla.solve_triangular(L, b, lower=True)
+
+
+def ts_upper(U: np.ndarray, b: np.ndarray) -> np.ndarray:
+    import scipy.linalg as sla
+
+    return sla.solve_triangular(U, b, lower=False)
+
+
+def flops_mvm(nnz: int) -> int:
+    """Multiply + add per stored entry."""
+    return 2 * nnz
+
+
+def flops_ts(nnz: int, n: int) -> int:
+    """Multiply + subtract per off-diagonal entry, one division per row."""
+    return 2 * (nnz - n) + n

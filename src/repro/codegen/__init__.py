@@ -1,0 +1,6 @@
+"""Code generation from enumeration plans: the reference interpreter, the
+specialized Python source emitter, and a C-like pretty-printer."""
+
+from repro.codegen.interp import PlanInterpreter, run_plan
+
+__all__ = ["PlanInterpreter", "run_plan"]

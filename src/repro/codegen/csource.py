@@ -1,0 +1,153 @@
+"""C-like rendering of generated kernels, for inspection.
+
+The specialized Python backend emits a small, loop-and-assignment subset of
+Python; this module parses that subset with :mod:`ast` and pretty-prints it
+as C-like source — the visual analog of the paper's Figure 9, useful in
+examples and documentation to show what the compiler produced.  It is a
+*renderer*, not a C compiler backend: the executable artifact remains the
+Python kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.core.plan import Plan
+
+
+class _CRenderer(ast.NodeVisitor):
+    def __init__(self):
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, s: str) -> None:
+        self.lines.append("    " * self.indent + s)
+
+    # -- expressions ------------------------------------------------------
+    def expr(self, node) -> str:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Constant):
+            return repr(node.value) if not isinstance(node.value, str) else node.value
+        if isinstance(node, ast.UnaryOp):
+            op = {"USub": "-", "Not": "!"}[type(node.op).__name__]
+            return f"{op}{self.expr(node.operand)}"
+        if isinstance(node, ast.BinOp):
+            op = {"Add": "+", "Sub": "-", "Mult": "*", "Div": "/",
+                  "FloorDiv": "/", "Mod": "%"}[type(node.op).__name__]
+            return f"({self.expr(node.left)} {op} {self.expr(node.right)})"
+        if isinstance(node, ast.Compare):
+            parts = [self.expr(node.left)]
+            cur = node.left
+            out = []
+            for op, comp in zip(node.ops, node.comparators):
+                sym = {"Lt": "<", "LtE": "<=", "Gt": ">", "GtE": ">=",
+                       "Eq": "==", "NotEq": "!=", "Is": "==", "IsNot": "!="}[
+                           type(op).__name__]
+                out.append(f"{self.expr(cur)} {sym} {self.expr(comp)}")
+                cur = comp
+            return " && ".join(out)
+        if isinstance(node, ast.BoolOp):
+            sym = " && " if isinstance(node.op, ast.And) else " || "
+            return sym.join(self.expr(v) for v in node.values)
+        if isinstance(node, ast.Subscript):
+            base = self.expr(node.value)
+            sl = node.slice
+            if isinstance(sl, ast.Tuple):
+                idx = "][".join(self.expr(e) for e in sl.elts)
+            else:
+                idx = self.expr(sl)
+            return f"{base}[{idx}]"
+        if isinstance(node, ast.Call):
+            fn = self.expr(node.func)
+            args = ", ".join(self.expr(a) for a in node.args)
+            return f"{fn}({args})"
+        if isinstance(node, ast.Attribute):
+            return f"{self.expr(node.value)}.{node.attr}"
+        if isinstance(node, ast.Tuple):
+            return ", ".join(self.expr(e) for e in node.elts)
+        if isinstance(node, ast.IfExp):
+            return (f"({self.expr(node.test)} ? {self.expr(node.body)} : "
+                    f"{self.expr(node.orelse)})")
+        return f"/* {ast.dump(node)[:40]} */"
+
+    # -- statements ----------------------------------------------------------
+    def body(self, stmts) -> None:
+        for s in stmts:
+            self.stmt(s)
+
+    def stmt(self, node) -> None:
+        if isinstance(node, ast.Assign):
+            tgt = self.expr(node.targets[0])
+            self.emit(f"{tgt} = {self.expr(node.value)};")
+        elif isinstance(node, ast.AugAssign):
+            op = {"Add": "+=", "Sub": "-=", "Mult": "*="}[type(node.op).__name__]
+            self.emit(f"{self.expr(node.target)} {op} {self.expr(node.value)};")
+        elif isinstance(node, ast.For):
+            var = self.expr(node.target)
+            it = node.iter
+            if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                    and it.func.id == "range"):
+                args = [self.expr(a) for a in it.args]
+                if len(args) == 1:
+                    hdr = f"for (int {var} = 0; {var} < {args[0]}; {var}++)"
+                elif len(args) == 2:
+                    hdr = f"for (int {var} = {args[0]}; {var} < {args[1]}; {var}++)"
+                else:
+                    hdr = (f"for (int {var} = {args[0]}; {var} > {args[1]}; "
+                           f"{var} += {args[2]})")
+            else:
+                hdr = f"for ({var} : {self.expr(it)})"
+            self.emit(hdr + " {")
+            self.indent += 1
+            self.body(node.body)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.While):
+            self.emit(f"while ({self.expr(node.test)}) {{")
+            self.indent += 1
+            self.body(node.body)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.If):
+            self.emit(f"if ({self.expr(node.test)}) {{")
+            self.indent += 1
+            self.body(node.body)
+            self.indent -= 1
+            if node.orelse:
+                self.emit("} else {")
+                self.indent += 1
+                self.body(node.orelse)
+                self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.Return):
+            self.emit("return;")
+        elif isinstance(node, ast.Expr):
+            self.emit(f"{self.expr(node.value)};")
+        else:
+            self.emit(f"/* {type(node).__name__} */")
+
+
+def python_to_c_like(py_source: str) -> str:
+    """Render the generated kernel function as C-like source (the kernel
+    body only; the search helpers are summarized as declarations)."""
+    tree = ast.parse(py_source)
+    r = _CRenderer()
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "kernel":
+            r.emit("void kernel(...) {")
+            r.indent += 1
+            r.body(node.body)
+            r.indent -= 1
+            r.emit("}")
+        elif isinstance(node, ast.FunctionDef):
+            r.emit(f"static int {node.name}(...);   /* search helper */")
+    return "\n".join(r.lines)
+
+
+def plan_to_c_like(plan: Plan) -> str:
+    """Generate the specialized kernel and render it C-like."""
+    from repro.codegen.pysource import generate_python_source
+
+    return python_to_c_like(generate_python_source(plan))

@@ -1,0 +1,619 @@
+"""Specialized Python source generation from enumeration plans.
+
+The emitted function has the structure a hand-written library kernel would
+have — raw index-array loops, inlined binary searches, permutation lookups —
+because every abstract operation of the plan is inlined through the bound
+format's emitter (:mod:`repro.codegen.emitters`).  This is the analog of
+the paper's Figure 9 C++ instantiation, and the vehicle for the Section 5
+claim that generated code is structurally equivalent to the NIST library.
+
+The generator is a *symbolic twin* of the reference interpreter
+(:mod:`repro.codegen.interp`): instead of integer values it manipulates
+affine expressions over emitted Python variables, performing the same
+unification and relation propagation at compile time and emitting
+assignments and guards where the interpreter would bind and check.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.codegen.emitters import RUNTIME_HELPERS, SourceWriter, make_emitter
+from repro.core.plan import (
+    Bind,
+    DRIVER,
+    ExecNode,
+    IntervalEnum,
+    LoopNode,
+    Plan,
+    PlanNode,
+    SEARCH,
+    SHARED,
+    SearchEnum,
+    SortedEnum,
+    StoredEnum,
+    VarLoopNode,
+)
+from repro.core.spaces import SparseRef, StmtCopy
+from repro.ir.expr import ValExpr, VBin, VConst, VNeg, VParam, VRead
+from repro.polyhedra.linexpr import LinExpr
+
+
+class CodegenError(RuntimeError):
+    pass
+
+
+def _lcm(a: int, b: int) -> int:
+    g, x = a, b
+    while x:
+        g, x = x, g % x
+    return a // g * b
+
+
+def render_pv(pv: LinExpr) -> str:
+    """Render an affine expression over Python symbols as integer Python.
+    Fractional coefficients become an exact scaled floor-division (callers
+    add divisibility guards where integrality is not already guaranteed)."""
+    q = 1
+    for c in list(pv.coeffs.values()) + [pv.const]:
+        q = _lcm(q, c.denominator)
+    if q != 1:
+        return f"({render_pv(pv * q)}) // {q}"
+    parts: List[str] = []
+    for v in sorted(pv.coeffs):
+        c = pv.coeffs[v]
+        ci = int(c)
+        if ci == 1:
+            term = v
+        elif ci == -1:
+            term = f"-{v}"
+        else:
+            term = f"{ci}*{v}"
+        if parts and not term.startswith("-"):
+            parts.append(f"+ {term}")
+        elif parts:
+            parts.append(f"- {term[1:]}")
+        else:
+            parts.append(term)
+    ci = int(pv.const)
+    if ci != 0 or not parts:
+        if parts:
+            parts.append(f"+ {ci}" if ci > 0 else f"- {-ci}")
+        else:
+            parts.append(str(ci))
+    s = " ".join(parts)
+    return s
+
+
+def guard_str(pv: LinExpr, op: str) -> str:
+    """Render ``pv op 0`` with fractions cleared (op is '>=' or '==')."""
+    q = 1
+    for c in list(pv.coeffs.values()) + [pv.const]:
+        q = _lcm(q, c.denominator)
+    scaled = pv * q
+    return f"{render_pv(scaled)} {op} 0"
+
+
+class _State:
+    """Snapshot-able generation state."""
+
+    __slots__ = ("env", "guards", "refstates", "pruned")
+
+    def __init__(self):
+        self.env: Dict[str, LinExpr] = {}        # qualified var -> PyVal
+        self.guards: Dict[str, List[str]] = {}   # copy label -> conditions
+        self.refstates: Dict[Tuple[str, int], Tuple[str, ...]] = {}
+        self.pruned: Set[str] = set()
+
+    def fork(self) -> "_State":
+        s = _State()
+        s.env = dict(self.env)
+        s.guards = {k: list(v) for k, v in self.guards.items()}
+        s.refstates = dict(self.refstates)
+        s.pruned = set(self.pruned)
+        return s
+
+
+class PySourceGenerator:
+    def __init__(self, plan: Plan):
+        self.plan = plan
+        self.out = SourceWriter()
+        self.copies: Dict[str, StmtCopy] = {c.label: c for c in plan.space.copies}
+        self.relations: Dict[str, List[LinExpr]] = {
+            c.label: [con.expr for con in c.relation().equalities()]
+            for c in plan.space.copies
+        }
+        self.copy_vars: Dict[str, List[str]] = {
+            c.label: c.all_vars() for c in plan.space.copies
+        }
+        # one emitter per (matrix instance, path); refs sharing both share it
+        self.emitters: Dict[Tuple[str, int], object] = {}
+        self._emitter_pool: Dict[Tuple[int, str], object] = {}
+        idx = 0
+        self.array_of_emitter: Dict[str, str] = {}
+        for copy in plan.space.copies:
+            for ref in copy.refs:
+                key = (id(ref.fmt), ref.path.path_id)
+                if key not in self._emitter_pool:
+                    name = f"M{idx}"
+                    idx += 1
+                    self._emitter_pool[key] = make_emitter(ref, name)
+                    self.array_of_emitter[name] = ref.array
+                self.emitters[ref.key] = self._emitter_pool[key]
+        # parameters: unqualified variables mentioned anywhere
+        self.params: List[str] = sorted(self._collect_params())
+        self.dense_arrays: List[str] = sorted(self._collect_dense_arrays())
+
+    # -- collection ------------------------------------------------------
+    def _collect_params(self) -> Set[str]:
+        names: Set[str] = set()
+
+        def scan_lin(e: LinExpr):
+            for v in e.variables():
+                if "." not in v:
+                    names.add(v)
+
+        for eqs in self.relations.values():
+            for e in eqs:
+                scan_lin(e)
+
+        def scan_nodes(nodes):
+            for n in nodes:
+                if isinstance(n, LoopNode):
+                    for b in n.binds:
+                        scan_lin(b.expr)
+                    if isinstance(n.method, SearchEnum):
+                        for e in n.method.key_exprs:
+                            scan_lin(e)
+                    scan_nodes(n.before)
+                    scan_nodes(n.body)
+                    scan_nodes(n.after)
+                elif isinstance(n, VarLoopNode):
+                    scan_lin(n.lo)
+                    scan_lin(n.hi)
+                    for b in n.binds:
+                        scan_lin(b.expr)
+                    scan_nodes(n.body)
+                elif isinstance(n, ExecNode):
+                    for g in n.guards:
+                        scan_lin(g)
+                    # statement index expressions use *local* loop-variable
+                    # names; qualify them first so only true parameters
+                    # (unqualified after renaming) are collected
+                    qmap = n.copy.qual_map()
+                    for i in n.copy.ctx.stmt.lhs.indices:
+                        scan_lin(i.rename(qmap).lin)
+                    for r in n.copy.ctx.stmt.reads():
+                        for i in r.indices:
+                            scan_lin(i.rename(qmap).lin)
+                    _scan_vparams(n.copy.ctx.stmt.rhs, names)
+
+        scan_nodes(self.plan.nodes)
+        return names
+
+    def _collect_dense_arrays(self) -> Set[str]:
+        sparse = {ref.array for c in self.plan.space.copies for ref in c.refs}
+        out: Set[str] = set()
+        for copy in self.plan.space.copies:
+            stmt = copy.ctx.stmt
+            if stmt.lhs.array not in sparse:
+                out.add(stmt.lhs.array)
+            for r in stmt.reads():
+                if r.array != "__var__" and r.array not in sparse:
+                    out.add(r.array)
+        return out
+
+    # -- symbolic unification ---------------------------------------------
+    def _resolve(self, expr: LinExpr, st: _State) -> Tuple[LinExpr, List[Tuple[str, Fraction]]]:
+        """Split an expression over qualified vars/params into a PyVal over
+        emitted symbols plus the list of unresolved variables."""
+        pv = LinExpr.constant(expr.const)
+        unbound: List[Tuple[str, Fraction]] = []
+        for v in expr.variables():
+            c = expr.coeff(v)
+            if v in st.env:
+                pv = pv + st.env[v] * c
+            elif "." not in v:
+                pv = pv + LinExpr.variable(f"p_{v}") * c
+            else:
+                unbound.append((v, c))
+        return pv, unbound
+
+    def _unify(self, label: str, expr: LinExpr, value: LinExpr, st: _State) -> None:
+        """Symbolically enforce ``expr == value`` for one copy: bind a
+        variable or append a guard, then propagate relations."""
+        pv, unbound = self._resolve(expr, st)
+        residual = value - pv
+        if not unbound:
+            cond = guard_str(residual, "==")
+            if cond != "0 == 0":
+                st.guards.setdefault(label, []).append(cond)
+            return
+        if len(unbound) > 1:
+            raise CodegenError(f"cannot unify {expr!r}: several unbound variables")
+        v, c = unbound[0]
+        sol = residual * (Fraction(1) / c)
+        q = 1
+        for coeff in list(sol.coeffs.values()) + [sol.const]:
+            q = _lcm(q, coeff.denominator)
+        if q != 1:
+            st.guards.setdefault(label, []).append(
+                f"({render_pv(sol * q)}) % {q} == 0"
+            )
+        st.env[v] = sol
+        self._propagate(label, st)
+
+    def _propagate(self, label: str, st: _State) -> None:
+        """Symbolic twin of the interpreter's relation propagation."""
+        changed = True
+        while changed:
+            changed = False
+            for eq in self.relations[label]:
+                pv, unbound = self._resolve(eq, st)
+                if not unbound:
+                    cond = guard_str(pv, "==")
+                    if cond != "0 == 0":
+                        gl = st.guards.setdefault(label, [])
+                        if cond not in gl:
+                            gl.append(cond)
+                elif len(unbound) == 1:
+                    v, c = unbound[0]
+                    sol = pv * (Fraction(-1) / c)
+                    q = 1
+                    for coeff in list(sol.coeffs.values()) + [sol.const]:
+                        q = _lcm(q, coeff.denominator)
+                    if q != 1:
+                        st.guards.setdefault(label, []).append(
+                            f"({render_pv(sol * q)}) % {q} == 0"
+                        )
+                    st.env[v] = sol
+                    changed = True
+        if all(v in st.env for v in self.copy_vars[label]):
+            return
+        self._propagate_full(label, st)
+
+    def _propagate_full(self, label: str, st: _State) -> None:
+        """Exact symbolic Gaussian elimination: variable columns over
+        rationals, the constant column over PyVals."""
+        vars_ = [v for v in self.copy_vars[label] if v not in st.env]
+        if not vars_:
+            return
+        index = {v: i for i, v in enumerate(vars_)}
+        rows: List[Tuple[List[Fraction], LinExpr]] = []
+        for eq in self.relations[label]:
+            pv, unbound = self._resolve(eq, st)
+            if not unbound:
+                continue
+            coeffs = [Fraction(0)] * len(vars_)
+            skip = False
+            for v, c in unbound:
+                if v not in index:
+                    skip = True
+                    break
+                coeffs[index[v]] = c
+            if skip:
+                continue
+            rows.append((coeffs, pv))
+        # eliminate
+        pivot_rows: List[Tuple[List[Fraction], LinExpr, int]] = []
+        for coeffs, pv in rows:
+            coeffs = list(coeffs)
+            for pcoeffs, ppv, pcol in pivot_rows:
+                f = coeffs[pcol]
+                if f != 0:
+                    coeffs = [a - f * b for a, b in zip(coeffs, pcoeffs)]
+                    pv = pv - ppv * f
+            lead = next((j for j, x in enumerate(coeffs) if x != 0), None)
+            if lead is None:
+                continue
+            inv = Fraction(1) / coeffs[lead]
+            coeffs = [x * inv for x in coeffs]
+            pv = pv * inv
+            pivot_rows.append((coeffs, pv, lead))
+        # back-substitute to find fully determined variables
+        for coeffs, pv, lead in pivot_rows:
+            work_c = list(coeffs)
+            work_pv = pv
+            for c2, pv2, l2 in pivot_rows:
+                if l2 != lead and work_c[l2] != 0:
+                    f = work_c[l2]
+                    work_c = [a - f * b for a, b in zip(work_c, c2)]
+                    work_pv = work_pv - pv2 * f
+            if all(x == 0 for j, x in enumerate(work_c) if j != lead):
+                v = vars_[lead]
+                sol = work_pv * Fraction(-1)
+                q = 1
+                for coeff in list(sol.coeffs.values()) + [sol.const]:
+                    q = _lcm(q, coeff.denominator)
+                if q != 1:
+                    st.guards.setdefault(label, []).append(
+                        f"({render_pv(sol * q)}) % {q} == 0"
+                    )
+                if v not in st.env:
+                    st.env[v] = sol
+
+    # -- generation ----------------------------------------------------------
+    def generate(self) -> str:
+        out = self.out
+        out.emit("import numpy as _np")
+        out.emit(RUNTIME_HELPERS)
+        out.emit("def kernel(arrays, params):")
+        out.push()
+        for p in self.params:
+            out.emit(f"p_{p} = params[{p!r}]")
+        for a in self.dense_arrays:
+            out.emit(f"arr_{a} = arrays[{a!r}]")
+        for (fmt_id, path_id), em in self._emitter_pool.items():
+            array = self.array_of_emitter[em.name]
+            out.emit(f"_src_{em.name} = arrays[{array!r}]")
+            em.prologue(out, f"_src_{em.name}")
+        st = _State()
+        for label in self.copies:
+            self._propagate(label, st)
+            # statically inconsistent copies never execute
+            for g in st.guards.get(label, []):
+                if g.replace(" ", "") in ("1==0", "-1==0"):
+                    st.pruned.add(label)
+        self._gen_nodes(self.plan.nodes, st)
+        out.emit("return None")
+        out.pop()
+        return out.text()
+
+    def _gen_nodes(self, nodes: Sequence[PlanNode], st: _State) -> None:
+        for n in nodes:
+            if isinstance(n, LoopNode):
+                self._gen_loop(n, st.fork())
+            elif isinstance(n, VarLoopNode):
+                self._gen_varloop(n, st.fork())
+            elif isinstance(n, ExecNode):
+                self._gen_exec(n, st.fork())
+            else:
+                raise CodegenError(f"unknown node {n!r}")
+
+    def _active_roles(self, node: LoopNode, st: _State):
+        return [r for r in node.roles if r.ref.owner_label not in st.pruned]
+
+    def _gen_loop(self, node: LoopNode, st: _State) -> None:
+        out = self.out
+        self._gen_nodes(node.before, st.fork())
+        method = node.method
+        driver = method.driver
+        em = self.emitters[driver.key]
+        dstates = list(st.refstates.get(driver.key, ()))
+        base_indent = out.indent
+        inner = st.fork()
+
+        if isinstance(method, StoredEnum):
+            keys, new_states = em.loop(out, method.step, dstates, method.reverse)
+        elif isinstance(method, SortedEnum):
+            gather = out.fresh("_gather")
+            out.emit(f"{gather} = []")
+            keys0, new0 = em.loop(out, method.step, dstates, False)
+            tup = ", ".join(list(keys0) + list(new0))
+            out.emit(f"{gather}.append(({tup}))")
+            while out.indent > base_indent:
+                out.pop()
+            signs = method.signs or tuple(1 for _ in keys0)
+            sort_key = ", ".join(
+                (f"_t[{i}]" if s > 0 else f"-_t[{i}]") for i, s in enumerate(signs)
+            )
+            out.emit(f"{gather}.sort(key=lambda _t: ({sort_key},))")
+            names = [out.fresh("_sk") for _ in keys0] + [out.fresh("_ss") for _ in new0]
+            out.emit(f"for {', '.join(names)} in {gather}:")
+            out.push()
+            keys = names[:len(keys0)]
+            new_states = names[len(keys0):]
+        elif isinstance(method, IntervalEnum):
+            iv = em.interval(out, method.step, dstates)
+            if iv is None:
+                raise CodegenError("interval enumeration without interval bounds")
+            lo, hi = iv
+            v = out.fresh("_iv")
+            if method.reverse:
+                out.emit(f"for {v} in range(({hi}) - 1, ({lo}) - 1, -1):")
+            else:
+                out.emit(f"for {v} in range({lo}, {hi}):")
+            out.push()
+            new_states, found = em.search(out, method.step, dstates, [v])
+            out.emit(f"if {found}:")
+            out.push()
+            keys = [v]
+        elif isinstance(method, SearchEnum):
+            # resolve key expressions through the driver copy's environment
+            key_strs = []
+            for e in method.key_exprs:
+                pv, unbound = self._resolve(e, inner)
+                if unbound:
+                    raise CodegenError(f"search key {e!r} not determined")
+                key_strs.append(render_pv(pv))
+            new_states, found = em.search(out, method.step, dstates, key_strs)
+            out.emit(f"if {found}:")
+            out.push()
+            keys = key_strs
+        else:
+            raise CodegenError(f"unknown method {method!r}")
+
+        # record driver/shared states & bind axis variables
+        key_pvs = [LinExpr.variable(k) if k.isidentifier() else None for k in keys]
+
+        def key_pv(i: int) -> LinExpr:
+            if key_pvs[i] is None:
+                # non-identifier key (SearchEnum rendered expr): name it
+                nm = out.fresh("_kv")
+                out.emit(f"{nm} = {keys[i]}")
+                key_pvs[i] = LinExpr.variable(nm)
+            return key_pvs[i]
+
+        for role in self._active_roles(node, inner):
+            ref = role.ref
+            if role.role in (DRIVER, SHARED):
+                # shared refs use the same emitter, hence the same states
+                inner.refstates[ref.key] = tuple(dstates) + tuple(new_states)
+            else:  # SEARCH
+                rem = self.emitters[ref.key]
+                rstates = list(inner.refstates.get(ref.key, ()))
+                key_strs = [render_pv(key_pv(i)) for i in range(len(keys))]
+                sstates, found = rem.search(out, role.step, rstates, key_strs)
+                inner.guards.setdefault(ref.owner_label, []).append(found)
+                inner.refstates[ref.key] = tuple(rstates) + tuple(sstates)
+            step_axes = ref.path.steps[role.step].names
+            for i, axis in enumerate(step_axes):
+                var = ref.axis_var(axis)
+                if var not in inner.env:
+                    self._unify(ref.owner_label, LinExpr.variable(var),
+                                key_pv(i), inner)
+
+        # value bindings
+        for b in node.binds:
+            if b.copy_label in inner.pruned:
+                continue
+            self._unify(b.copy_label, b.expr, key_pv(b.axis_pos), inner)
+
+        self._gen_nodes(node.body, inner)
+        while out.indent > base_indent:
+            out.pop()
+        self._gen_nodes(node.after, st.fork())
+
+    def _gen_varloop(self, node: VarLoopNode, st: _State) -> None:
+        out = self.out
+        lo_pv, u1 = self._resolve(node.lo, st)
+        hi_pv, u2 = self._resolve(node.hi, st)
+        if u1 or u2:
+            raise CodegenError("loop bounds not determined at emission point")
+        v = out.fresh("_v")
+        lo_s, hi_s = render_pv(lo_pv), render_pv(hi_pv)
+        if node.reverse:
+            out.emit(f"for {v} in range(({hi_s}) - 1, ({lo_s}) - 1, -1):")
+        else:
+            out.emit(f"for {v} in range({lo_s}, {hi_s}):")
+        out.push()
+        inner = st.fork()
+        for b in node.binds:
+            if b.copy_label in inner.pruned:
+                continue
+            self._unify(b.copy_label, b.expr, LinExpr.variable(v), inner)
+        self._gen_nodes(node.body, inner)
+        out.pop()
+
+    # -- statement emission -------------------------------------------------
+    def _gen_exec(self, node: ExecNode, st: _State) -> None:
+        out = self.out
+        copy = node.copy
+        if copy.label in st.pruned:
+            return
+        conds = list(st.guards.get(copy.label, []))
+        for g in node.guards:
+            pv, unbound = self._resolve(g, st)
+            if unbound:
+                # an unbound guard variable means this execution point can
+                # never be reached with a complete instance
+                return
+            cond = guard_str(pv, ">=")
+            if cond not in conds and not _trivially_true(cond):
+                conds.append(cond)
+        # all iteration vars must resolve
+        local: Dict[str, LinExpr] = {}
+        for v in copy.ctx.vars:
+            q = copy.qual(v)
+            pv, unbound = self._resolve(LinExpr.variable(q), st)
+            if unbound:
+                raise CodegenError(f"iteration variable {q} unbound at execution")
+            local[v] = pv
+        if conds:
+            out.emit(f"if {' and '.join(conds)}:")
+            out.push()
+        value = self._render_val(copy.ctx.stmt.rhs, copy, local, st)
+        lhs_ref = copy.ref_by_ordinal(0)
+        if lhs_ref is not None:
+            em = self.emitters[lhs_ref.key]
+            em.set(out, list(st.refstates.get(lhs_ref.key, ())), value)
+        else:
+            lhs = copy.ctx.stmt.lhs
+            idx = ", ".join(
+                render_pv(self._resolve(i.rename(copy.qual_map()).lin, st)[0])
+                for i in lhs.indices
+            )
+            if lhs.indices:
+                out.emit(f"arr_{lhs.array}[{idx}] = {value}")
+            else:
+                out.emit(f"arr_{lhs.array}[()] = {value}")
+        if conds:
+            out.pop()
+
+    def _render_val(self, e: ValExpr, copy: StmtCopy, local: Dict[str, LinExpr],
+                    st: _State, prec: int = 0) -> str:
+        if isinstance(e, VConst):
+            return repr(e.value)
+        if isinstance(e, VParam):
+            return f"p_{e.name}"
+        if isinstance(e, VNeg):
+            return f"(-{self._render_val(e.operand, copy, local, st, 3)})"
+        if isinstance(e, VBin):
+            p = {"+": 1, "-": 1, "*": 2, "/": 2}[e.op]
+            l = self._render_val(e.left, copy, local, st, p)
+            r = self._render_val(e.right, copy, local, st, p + 1)
+            s = f"{l} {e.op} {r}"
+            return f"({s})" if p < prec else s
+        if isinstance(e, VRead):
+            if e.array == "__var__":
+                pv, _ = self._resolve(e.indices[0].rename(copy.qual_map()).lin, st)
+                return f"({render_pv(pv)})"
+            ordinal = self._ordinal_of_read(copy, e)
+            if ordinal is not None:
+                ref = copy.ref_by_ordinal(ordinal)
+                if ref is not None:
+                    em = self.emitters[ref.key]
+                    return em.get(list(st.refstates.get(ref.key, ())))
+            idx = ", ".join(
+                render_pv(self._resolve(i.rename(copy.qual_map()).lin, st)[0])
+                for i in e.indices
+            )
+            if e.indices:
+                return f"arr_{e.array}[{idx}]"
+            return f"arr_{e.array}[()]"
+        raise CodegenError(f"unknown ValExpr {type(e).__name__}")
+
+    def _ordinal_of_read(self, copy: StmtCopy, target: VRead) -> Optional[int]:
+        ordinal = 0
+        for r in copy.ctx.stmt.reads():
+            if r.array == "__var__":
+                continue
+            ordinal += 1
+            if r is target:
+                return ordinal
+        return None
+
+
+def _scan_vparams(e: ValExpr, names: Set[str]) -> None:
+    if isinstance(e, VParam):
+        names.add(e.name)
+    elif isinstance(e, VNeg):
+        _scan_vparams(e.operand, names)
+    elif isinstance(e, VBin):
+        _scan_vparams(e.left, names)
+        _scan_vparams(e.right, names)
+
+
+def _trivially_true(cond: str) -> bool:
+    c = cond.replace(" ", "")
+    if c.endswith(">=0"):
+        head = c[:-3]
+        try:
+            return int(head) >= 0
+        except ValueError:
+            return False
+    return False
+
+
+def generate_python_source(plan: Plan) -> str:
+    return PySourceGenerator(plan).generate()
+
+
+def compile_plan_to_python(plan: Plan):
+    """(source, callable) for a plan; the callable has the signature
+    ``kernel(arrays, params)`` and mutates the arrays in place."""
+    src = generate_python_source(plan)
+    namespace: Dict[str, object] = {}
+    exec(compile(src, "<bernoulli-generated>", "exec"), namespace)
+    return src, namespace["kernel"]

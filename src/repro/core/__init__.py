@@ -1,0 +1,79 @@
+"""The sparse code-synthesis compiler: statement/product spaces, affine
+embeddings with exact legality, redundancy analysis, enumeration plans,
+and the ``compile_kernel`` entry point.
+"""
+
+from repro.core.spaces import ProductDim, ProductSpace, SparseRef, StmtCopy, build_copies
+from repro.core.embedding import (
+    AT,
+    BEFORE,
+    AFTER,
+    INC,
+    DEC,
+    DimEmbedding,
+    OrderAnalysis,
+    SpaceEmbedding,
+    analyze_order,
+    check_legality,
+    pair_deltas,
+    pair_polyhedron,
+    required_directions,
+)
+from repro.core.redundancy import DeterminacyTracker, g_matrix, redundant_dims
+from repro.core.plan import (
+    Bind,
+    ExecNode,
+    IntervalEnum,
+    LoopNode,
+    Plan,
+    PlanError,
+    RefRole,
+    SearchEnum,
+    SortedEnum,
+    StoredEnum,
+    VarLoopNode,
+    build_plan,
+)
+from repro.core.compiler import CompiledKernel, compile_kernel
+from repro.core.parallel import ParallelReport, analyze_parallelism, annotate_c_source
+
+__all__ = [
+    "ProductDim",
+    "ProductSpace",
+    "SparseRef",
+    "StmtCopy",
+    "build_copies",
+    "AT",
+    "BEFORE",
+    "AFTER",
+    "INC",
+    "DEC",
+    "DimEmbedding",
+    "OrderAnalysis",
+    "SpaceEmbedding",
+    "analyze_order",
+    "check_legality",
+    "pair_deltas",
+    "pair_polyhedron",
+    "required_directions",
+    "DeterminacyTracker",
+    "g_matrix",
+    "redundant_dims",
+    "Bind",
+    "ExecNode",
+    "IntervalEnum",
+    "LoopNode",
+    "Plan",
+    "PlanError",
+    "RefRole",
+    "SearchEnum",
+    "SortedEnum",
+    "StoredEnum",
+    "VarLoopNode",
+    "build_plan",
+    "CompiledKernel",
+    "compile_kernel",
+    "ParallelReport",
+    "analyze_parallelism",
+    "annotate_c_source",
+]

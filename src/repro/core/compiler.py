@@ -1,0 +1,130 @@
+"""Top-level compiler API.
+
+``compile_kernel`` takes a dense program (the high-level API) and a binding
+of matrix names to sparse-format instances (the low-level API), and returns
+a :class:`CompiledKernel` that can execute the synthesized data-centric
+code — through the reference interpreter, or through specialized generated
+Python source (see :mod:`repro.codegen.pysource`).
+
+This is the analog of the paper's ``#pragma instantiate with Bernoulli``
+template instantiation (Figure 4): the same dense kernel text serves every
+format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.analysis.dependence import dependences
+from repro.core.plan import Plan
+from repro.formats.base import SparseFormat
+from repro.ir.program import Program
+from repro.ir.validate import validate_program
+from repro.search.driver import SearchResult, search
+
+
+class CompiledKernel:
+    """A program lowered for specific format bindings."""
+
+    def __init__(self, program: Program, bindings: Mapping[str, SparseFormat],
+                 result: SearchResult):
+        self.program = program
+        self.bindings = dict(bindings)
+        self.result = result
+        self.plan: Plan = result.plan
+        self.cost = result.cost
+        self._pyfunc = None
+        self._pysource = None
+
+    # -- execution -----------------------------------------------------------
+    def run(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
+        """Execute through the reference interpreter.  ``arrays`` must map
+        every referenced array name to either a NumPy array (dense data) or
+        a format instance compatible with the compile-time binding."""
+        from repro.codegen.interp import run_plan
+
+        self._check_arrays(arrays)
+        run_plan(self.plan, arrays, params)
+
+    def __call__(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
+        """Execute through the generated specialized code (compiled once,
+        cached)."""
+        fn = self.callable()
+        self._check_arrays(arrays)
+        fn(arrays, {k: int(v) for k, v in params.items()})
+
+    def callable(self):
+        if self._pyfunc is None:
+            from repro.codegen.pysource import compile_plan_to_python
+
+            self._pysource, self._pyfunc = compile_plan_to_python(self.plan)
+        return self._pyfunc
+
+    @property
+    def source(self) -> str:
+        """The generated specialized Python source."""
+        self.callable()
+        return self._pysource
+
+    def pseudocode(self) -> str:
+        """The data-centric pseudocode (paper Figures 5/8 style)."""
+        return self.plan.pretty()
+
+    def _check_arrays(self, arrays: Mapping[str, object]) -> None:
+        for name in self.program.referenced_arrays():
+            if name not in arrays:
+                raise KeyError(f"missing array {name!r}")
+        for name, fmt in self.bindings.items():
+            got = arrays.get(name)
+            if got is not None and not isinstance(got, type(fmt)):
+                raise TypeError(
+                    f"array {name!r} was compiled for {type(fmt).__name__}, "
+                    f"got {type(got).__name__}"
+                )
+
+    def __repr__(self):
+        b = {k: v.format_name for k, v in self.bindings.items()}
+        return f"<CompiledKernel {self.program.name} {b} cost={self.cost:.1f}>"
+
+
+def compile_kernel(
+    program: Program,
+    bindings: Mapping[str, SparseFormat],
+    param_values: Optional[Mapping[str, int]] = None,
+    pick: str = "best",
+    max_orders: int = 12,
+    simplify_guards: bool = True,
+) -> CompiledKernel:
+    """Compile ``program`` for the given format bindings.
+
+    ``bindings`` maps matrix array names to format *instances*; the
+    instances provide the index structure, the enumeration runtimes, and
+    the statistics the cost model ranks candidates with.  ``param_values``
+    optionally supplies concrete sizes for better cost estimates.
+
+    ``pick`` is forwarded to the search ("best" / "first" / "worst" — the
+    latter two exist for the ablation benchmarks).
+    """
+    validate_program(program)
+    for name, fmt in bindings.items():
+        decl = program.arrays.get(name)
+        if decl is None:
+            raise KeyError(f"binding for unknown array {name!r}")
+        if decl.kind != "matrix":
+            raise ValueError(f"only matrices can be bound to sparse formats ({name!r})")
+        if not isinstance(fmt, SparseFormat):
+            raise TypeError(f"binding for {name!r} must be a SparseFormat instance")
+    if param_values is None:
+        # default guesses from the bound instances: common size names
+        param_values = {}
+        for fmt in bindings.values():
+            param_values.setdefault("m", fmt.nrows)
+            param_values.setdefault("n", fmt.ncols)
+    deps = dependences(program)
+    result = search(program, bindings, deps, param_values, pick=pick,
+                    max_orders=max_orders)
+    if simplify_guards:
+        result.plan.simplify_guards(param_values)
+    return CompiledKernel(program, bindings, result)

@@ -1,0 +1,5 @@
+"""Cost model for enumeration plans (paper Figure 11)."""
+
+from repro.cost.model import plan_cost, step_totals
+
+__all__ = ["plan_cost", "step_totals"]

@@ -1,0 +1,182 @@
+"""Cost estimation for enumeration plans (paper Figure 11).
+
+The grammar of costs mirrors the paper's:
+
+    Cost(for iterator { S })          = EnumCost(iterator) * Cost(S)
+    Cost(common enum of itr1, itr2)   = CommonEnumCost(itr1, itr2) * Cost(S)
+    Cost(search + S)                  = SearchCost + Cost(S)
+    Cost(guard)                       = 1
+    Cost(S1; S2)                      = Cost(S1) + Cost(S2)
+
+``EnumCost`` depends on whether the enumeration direction is supported by
+the format (stored order), realized by interval counting + search, or by
+gather-and-sort; ``SearchCost`` on the search capability of the axis
+(direct / binary / linear); ``CommonEnumCost`` on how the member references
+are combined (shared state is free, searches pay per value).
+
+Because the compiler runs against a concrete matrix instance, trip counts
+come from the instance itself (rows, nnz, diagonal count, ...), not from
+symbolic guesses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.plan import (
+    DRIVER,
+    ExecNode,
+    IntervalEnum,
+    LoopNode,
+    Plan,
+    PlanNode,
+    SEARCH,
+    SHARED,
+    SearchEnum,
+    SortedEnum,
+    StoredEnum,
+    VarLoopNode,
+)
+from repro.cost import params as P
+from repro.formats.base import SparseFormat
+from repro.formats.views import BINARY, DIRECT, LINEAR, NOSEARCH
+
+
+def step_totals(fmt: SparseFormat, path_id: str) -> List[float]:
+    """Total number of (key, state) pairs produced at each step of a path,
+    summed over all prefixes — e.g. CSR "rows": [m, nnz]."""
+    name = fmt.format_name
+    m, n = fmt.nrows, fmt.ncols
+    nnz = max(1, fmt.nnz)
+    if name == "dense":
+        return [m, m * n] if path_id == "rowmajor" else [n, m * n]
+    if name == "csr":
+        return [m, nnz]
+    if name == "csc":
+        return [n, nnz]
+    if name == "coo":
+        return [nnz]
+    if name == "ell":
+        return [m, nnz]
+    if name == "dia":
+        ndiags = max(1, len(getattr(fmt, "diags", [1])))
+        return [ndiags, nnz]
+    if name == "jad":
+        if path_id == "flat":
+            return [nnz]
+        return [m, nnz]
+    if name == "bsr":
+        nblocks = max(1, getattr(fmt, "blockind").size)
+        s = fmt.block_size
+        return [fmt.block_rows, nblocks, nblocks * s, nblocks * s * s]
+    if name == "msr":
+        if path_id == "diag":
+            return [fmt.ndiag]
+        return [m, max(1, getattr(fmt, "values").size)]
+    # unknown format: measure by enumerating (exact, possibly slow)
+    return _measured_step_totals(fmt, path_id)
+
+
+def _measured_step_totals(fmt: SparseFormat, path_id: str) -> List[float]:
+    path = fmt.path(path_id)
+    rt = fmt.runtime(path_id)
+    totals = [0.0] * len(path.steps)
+
+    def walk(step: int, prefix: Tuple):
+        if step == len(path.steps):
+            return
+        for _keys, st in rt.enumerate(step, prefix):
+            totals[step] += 1
+            walk(step + 1, prefix + (st,))
+
+    walk(0, ())
+    return totals
+
+
+def _search_cost(fmt: SparseFormat, path_id: str, step: int, avg_width: float) -> float:
+    path = fmt.path(path_id)
+    axes = path.steps[step].axes
+    cost = 0.0
+    for a in axes:
+        if a.search == DIRECT or a.interval:
+            cost += P.SEARCH_DIRECT
+        elif a.search == BINARY:
+            cost += P.SEARCH_BINARY_PER_LOG * max(1.0, math.log2(max(2.0, avg_width)))
+        else:
+            cost += P.SEARCH_LINEAR_PER_ENTRY * avg_width
+    return cost
+
+
+def plan_cost(plan: Plan, param_values: Optional[Mapping[str, int]] = None) -> float:
+    """Estimated execution cost of a plan on the bound matrix instances."""
+    param_values = dict(param_values or {})
+
+    def fmt_of(ref):
+        return ref.fmt
+
+    def loop_stats(method) -> Tuple[float, float, float]:
+        """(trips per visit, per-trip enumeration cost, fixed per-visit cost)."""
+        fmt = fmt_of(method.driver)
+        totals = step_totals(fmt, method.driver.path.path_id)
+        step = method.step
+        outer = totals[step - 1] if step > 0 else 1.0
+        width = totals[step] / max(1.0, outer)
+        if isinstance(method, StoredEnum):
+            return width, P.ENUM_VISIT, 0.0
+        if isinstance(method, SortedEnum):
+            logw = max(1.0, math.log2(max(2.0, width)))
+            return width, P.ENUM_VISIT + P.SORT_GATHER + logw, 0.0
+        if isinstance(method, SearchEnum):
+            # one search; at most one trip survives
+            return 1.0, _search_cost(fmt, method.driver.path.path_id, step, width), 0.0
+        if isinstance(method, IntervalEnum):
+            # the counter walks the whole axis range; hits are `width`
+            rng = None
+            ar = None
+            axes = method.driver.path.steps[step].names
+            if axes:
+                ar = fmt.axis_range(axes[0])
+            span = float(ar[1] - ar[0]) if ar else width
+            search = _search_cost(fmt, method.driver.path.path_id, step, width)
+            # cost charged per *hit*: amortize counter steps over hits
+            per_hit = search + P.INTERVAL_STEP * span / max(1.0, width)
+            return width, per_hit, 0.0
+        raise TypeError(f"unknown method {method!r}")
+
+    def node_cost(node: PlanNode) -> float:
+        if isinstance(node, ExecNode):
+            return P.EXEC_COST + P.GUARD_COST * len(node.guards)
+        if isinstance(node, VarLoopNode):
+            lo = _eval_guess(node.lo, param_values)
+            hi = _eval_guess(node.hi, param_values)
+            trips = max(0.0, hi - lo)
+            body = sum(node_cost(c) for c in node.body)
+            return trips * (P.BIND_COST * len(node.binds) + body)
+        if isinstance(node, LoopNode):
+            trips, per_trip, fixed = loop_stats(node.method)
+            search = 0.0
+            for role in node.roles:
+                if role.role == SEARCH:
+                    fmt = role.ref.fmt
+                    totals = step_totals(fmt, role.ref.path.path_id)
+                    outer = totals[role.step - 1] if role.step > 0 else 1.0
+                    width = totals[role.step] / max(1.0, outer)
+                    search += _search_cost(fmt, role.ref.path.path_id, role.step, width)
+            body = sum(node_cost(c) for c in node.body)
+            before = sum(node_cost(c) for c in node.before)
+            after = sum(node_cost(c) for c in node.after)
+            per_iter = per_trip + search + P.BIND_COST * len(node.binds) + body
+            return fixed + before + after + trips * per_iter
+        raise TypeError(f"unknown node {node!r}")
+
+    return sum(node_cost(n) for n in plan.nodes)
+
+
+def _eval_guess(expr, param_values: Mapping[str, int]) -> float:
+    """Evaluate a bound expression, treating unbound (inner) variables as 0
+    — a crude but monotone estimate for data-dependent trip counts."""
+    total = float(expr.const)
+    for v in expr.variables():
+        total += float(expr.coeff(v)) * float(param_values.get(v, 0))
+    return total

@@ -1,0 +1,28 @@
+"""Cost-model constants.
+
+The unit is "one enumeration step of a stored entry".  Constants are
+deliberately coarse — the model only has to *rank* candidate plans
+(paper Section 4.2), not predict wall-clock time.
+"""
+
+# per-visit cost of walking a stored enumeration
+ENUM_VISIT = 1.0
+
+# extra per-entry cost of gather-and-sort enumeration (the log factor is
+# added separately)
+SORT_GATHER = 1.0
+
+# cost of one search, by axis search capability
+SEARCH_DIRECT = 1.0
+SEARCH_BINARY_PER_LOG = 1.0
+SEARCH_LINEAR_PER_ENTRY = 1.0
+
+# interval counting: cost of one counter step even when the search misses
+INTERVAL_STEP = 0.5
+
+# executing one statement instance / evaluating one guard
+EXEC_COST = 1.0
+GUARD_COST = 0.25
+
+# binding/unification bookkeeping per loop iteration
+BIND_COST = 0.25

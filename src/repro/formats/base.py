@@ -1,0 +1,253 @@
+"""Base classes of the sparse-format substrate.
+
+A format implements two APIs, mirroring the paper's two-API design
+(Section 1):
+
+- the **high-level API** (`get`, `set`, `to_dense`, shape/nnz): the
+  dense-matrix view used by algorithm designers and by the reference
+  interpreters;
+- the **low-level API** (`view`, `paths`, `runtime`): the index structure
+  exposed to the restructuring compiler, plus per-path enumeration/search
+  runtimes (the analog of the paper's ``term_nesting`` / iterator classes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.formats.views import AccessPath, Term, access_paths, union_branches
+from repro.polyhedra.system import System
+
+
+class PathRuntime:
+    """Enumeration/search runtime for one access path of one matrix.
+
+    States are opaque per-step handles; ``prefix`` is the tuple of states of
+    all enclosing steps.  ``keys`` are the *logical* (post-map) coordinate
+    values of the step's axes — permutations are resolved inside the runtime
+    (enumerating a permuted axis yields logical values; searching one applies
+    the inverse permutation).
+    """
+
+    #: the AccessPath this runtime implements (set by the format)
+    path: AccessPath
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        """Yield ``(keys, state)`` for every stored entry of this step under
+        the given prefix, in the path's stored order."""
+        raise NotImplementedError
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        """State for the entry with the given keys, or None if absent.
+        Only valid when every axis of the step is searchable."""
+        raise NotImplementedError
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        """Half-open [lo, hi) coordinate range when the (single) axis of the
+        step is an interval; None otherwise."""
+        return None
+
+    def get(self, prefix: Tuple) -> float:
+        """The stored value once all steps have states."""
+        raise NotImplementedError
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        raise NotImplementedError
+
+
+class SparseFormat:
+    """Base class: shape bookkeeping, COO interchange, random access,
+    and the low-level view/path/runtime API."""
+
+    #: short format tag ("csr", "jad", ...)
+    format_name: str = "abstract"
+
+    def __init__(self, shape: Tuple[int, int]):
+        m, n = shape
+        if m < 0 or n < 0:
+            raise ValueError(f"bad shape {shape}")
+        self.shape = (int(m), int(n))
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    @property
+    def nnz(self) -> int:
+        raise NotImplementedError
+
+    def get(self, r: int, c: int) -> float:
+        """Random access (0 for unstored elements) — the JadRandom analog."""
+        raise NotImplementedError
+
+    def set(self, r: int, c: int, v: float) -> None:
+        """Update a *stored* element; raises KeyError for unstored positions
+        (no fill, paper Section 1)."""
+        raise NotImplementedError
+
+    def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(rows, cols, values) of all stored entries, any order."""
+        raise NotImplementedError
+
+    def to_dense(self) -> np.ndarray:
+        rows, cols, vals = self.to_coo_arrays()
+        out = np.zeros(self.shape)
+        # additive densification would hide duplicate entries; formats keep
+        # entries unique, so plain assignment is correct and catches bugs
+        out[rows, cols] = vals
+        return out
+
+    def copy(self) -> "SparseFormat":
+        rows, cols, vals = self.to_coo_arrays()
+        return type(self).from_coo(rows, cols, vals.copy(), self.shape)
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "SparseFormat":
+        raise NotImplementedError
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray) -> "SparseFormat":
+        a = np.asarray(a)
+        rows, cols = np.nonzero(a)
+        return cls.from_coo(rows, cols, a[rows, cols].astype(float), a.shape)
+
+    @classmethod
+    def from_scipy(cls, sp) -> "SparseFormat":
+        coo = sp.tocoo()
+        return cls.from_coo(coo.row, coo.col, coo.data.astype(float), coo.shape)
+
+    def to_scipy(self):
+        import scipy.sparse as sps
+
+        rows, cols, vals = self.to_coo_arrays()
+        return sps.coo_matrix((vals, (rows, cols)), shape=self.shape)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        """The index-structure term (paper Figure 6 grammar)."""
+        raise NotImplementedError
+
+    def paths(self) -> List[AccessPath]:
+        """Access paths of the view, with this format's stable path ids."""
+        cached = getattr(self, "_paths_cache", None)
+        if cached is None:
+            cached = access_paths(self.view())
+            ids = self.path_ids()
+            if ids is not None:
+                if len(ids) != len(cached):
+                    raise ValueError(
+                        f"{self.format_name}: {len(ids)} path ids for {len(cached)} paths"
+                    )
+                cached = [AccessPath(pid, p.steps, p.subs, p.branch)
+                          for pid, p in zip(ids, cached)]
+            self._paths_cache = cached
+        return list(cached)
+
+    def path_ids(self) -> Optional[List[str]]:
+        """Human-readable ids, in the order :func:`access_paths` produces
+        them; None keeps the generated p0/p1/... ids."""
+        return None
+
+    def path(self, path_id: str) -> AccessPath:
+        for p in self.paths():
+            if p.path_id == path_id:
+                return p
+        raise KeyError(f"{self.format_name} has no path {path_id!r}")
+
+    def union_branches(self) -> List[str]:
+        return union_branches(self.paths())
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        """Enumeration runtime for one path."""
+        raise NotImplementedError
+
+    def axis_range(self, axis_name: str) -> Optional[Tuple[int, int]]:
+        """Half-open value range of a (possibly post-map) axis when it is
+        known from the shape alone: logical rows are [0, m), columns [0, n).
+        Formats with mapped axes (DIA's d/o) extend this."""
+        if axis_name == "r":
+            return (0, self.nrows)
+        if axis_name == "c":
+            return (0, self.ncols)
+        return None
+
+    def axis_total(self, axis_name: str) -> Optional[Tuple[int, int]]:
+        """The half-open range an *enumeration* of this axis is guaranteed
+        to visit in full, for every prefix — or None when the enumeration
+        only visits stored coordinates (a compressed axis).
+
+        The plan builder uses this to decide whether a statement with no
+        stored data on a dimension can be fused into its enumeration (the
+        enumeration must be *total* over the statement's instances, or some
+        instances would silently never execute).  Default: only interval
+        axes that the format declares total (overridden per format)."""
+        return None
+
+    def bounds(self) -> Optional[System]:
+        """Optional annotation constraining stored coordinates (e.g.
+        ``c <= r`` for a lower-triangular matrix); over variables "r","c".
+        Used to discharge guards the stored structure already implies.
+        (Paper Section 2: "Enumeration bounds ... conveyed to the compiler
+        using a pragma".)"""
+        return getattr(self, "_bounds", None)
+
+    def annotate_bounds(self, system: System) -> "SparseFormat":
+        """Attach an enumeration-bounds annotation (returns self)."""
+        self._bounds = system
+        return self
+
+    def annotate_triangular(self, kind: str) -> "SparseFormat":
+        """Convenience bounds annotation: 'lower' (c <= r) or 'upper'
+        (r <= c)."""
+        from repro.polyhedra.linexpr import LinExpr
+        from repro.polyhedra.system import Constraint, GE
+
+        r = LinExpr.variable("r")
+        c = LinExpr.variable("c")
+        if kind == "lower":
+            sys_ = System([Constraint(r - c, GE)])
+        elif kind == "upper":
+            sys_ = System([Constraint(c - r, GE)])
+        else:
+            raise ValueError(f"kind must be 'lower' or 'upper', got {kind!r}")
+        return self.annotate_bounds(sys_)
+
+    # -- misc -----------------------------------------------------------------
+    def __repr__(self):
+        return f"<{self.format_name} {self.nrows}x{self.ncols}, nnz={self.nnz}>"
+
+
+def coo_dedup_sort(rows, cols, vals, shape, order: str = "row") -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Canonicalize COO triples: sum duplicates, sort row-major or
+    column-major, validate bounds.  Shared by the concrete constructors."""
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    cols = np.asarray(cols, dtype=np.int64).ravel()
+    vals = np.asarray(vals, dtype=np.float64).ravel()
+    if not (rows.shape == cols.shape == vals.shape):
+        raise ValueError("rows/cols/vals length mismatch")
+    m, n = shape
+    if rows.size:
+        if rows.min() < 0 or rows.max() >= m or cols.min() < 0 or cols.max() >= n:
+            raise ValueError("COO indices out of bounds for shape")
+    if order == "row":
+        keys = rows * n + cols
+    elif order == "col":
+        keys = cols * m + rows
+    else:
+        raise ValueError(f"unknown order {order!r}")
+    perm = np.argsort(keys, kind="stable")
+    rows, cols, vals, keys = rows[perm], cols[perm], vals[perm], keys[perm]
+    if keys.size and np.any(keys[1:] == keys[:-1]):
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        summed = np.zeros(uniq.size)
+        np.add.at(summed, inverse, vals)
+        first = np.searchsorted(keys, uniq)
+        rows, cols, vals = rows[first], cols[first], summed
+    return rows, cols, vals

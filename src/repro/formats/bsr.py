@@ -1,0 +1,236 @@
+"""Block Sparse Row storage (BSR): dense s x s blocks on a CSR skeleton.
+
+Index structure::
+
+    map{s*rb + ri |-> r, s*cb + ci |-> c :
+        rb -> cb -> (ri x ci) -> v}
+
+The affine map rule of the paper's grammar covers blocking directly: the
+logical row decomposes as ``r = s*rb + ri`` with the block row ``rb`` an
+interval, stored block columns ``cb`` sorted within a block row, and the
+within-block coordinates a dense cross product.
+
+The matrix dimensions must be multiples of the block size (generators pad).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import (
+    Axis,
+    BINARY,
+    Cross,
+    INCREASING,
+    MapTerm,
+    Nest,
+    Term,
+    Value,
+    interval_axis,
+)
+from repro.polyhedra.linexpr import LinExpr
+
+
+class BsrRuntime(PathRuntime):
+    def __init__(self, fmt: "BsrMatrix", path, inner_order: Tuple[str, str]):
+        self.fmt = fmt
+        self.path = path
+        self.inner_order = inner_order  # ("ri","ci") or ("ci","ri")
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        fmt = self.fmt
+        if step == 0:
+            for rb in range(fmt.block_rows):
+                yield (rb,), rb
+        elif step == 1:
+            (rb,) = prefix
+            for kk in range(int(fmt.indptr[rb]), int(fmt.indptr[rb + 1])):
+                yield (int(fmt.blockind[kk]),), kk
+        else:
+            for v in range(fmt.block_size):
+                yield (v,), v
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        fmt = self.fmt
+        if step == 0:
+            (rb,) = keys
+            return rb if 0 <= rb < fmt.block_rows else None
+        if step == 1:
+            (rb,) = prefix
+            (cb,) = keys
+            lo, hi = int(fmt.indptr[rb]), int(fmt.indptr[rb + 1])
+            kk = int(np.searchsorted(fmt.blockind[lo:hi], cb)) + lo
+            if kk < hi and fmt.blockind[kk] == cb:
+                return kk
+            return None
+        (v,) = keys
+        return v if 0 <= v < fmt.block_size else None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        if step == 0:
+            return (0, self.fmt.block_rows)
+        if step >= 2:
+            return (0, self.fmt.block_size)
+        return None
+
+    def _block_xy(self, prefix: Tuple) -> Tuple[int, int, int]:
+        kk = prefix[1]
+        inner = dict(zip(self.inner_order, prefix[2:]))
+        return kk, inner["ri"], inner["ci"]
+
+    def get(self, prefix: Tuple) -> float:
+        kk, ri, ci = self._block_xy(prefix)
+        return float(self.fmt.data[kk, ri, ci])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        kk, ri, ci = self._block_xy(prefix)
+        self.fmt.data[kk, ri, ci] = value
+
+
+class BsrMatrix(SparseFormat):
+    """BSR: ``indptr`` (block_rows+1), ``blockind`` (nblocks, sorted within
+    a block row), ``data`` (nblocks x s x s)."""
+
+    format_name = "bsr"
+
+    def __init__(self, indptr: np.ndarray, blockind: np.ndarray, data: np.ndarray,
+                 block_size: int, shape: Tuple[int, int]):
+        super().__init__(shape)
+        self.block_size = int(block_size)
+        if self.nrows % self.block_size or self.ncols % self.block_size:
+            raise ValueError("matrix dimensions must be multiples of the block size")
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.blockind = np.asarray(blockind, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.indptr.size != self.block_rows + 1:
+            raise ValueError("indptr must have block_rows+1 entries")
+        if self.data.shape != (self.blockind.size, self.block_size, self.block_size):
+            raise ValueError("data must be (nblocks, s, s)")
+
+    @property
+    def block_rows(self) -> int:
+        return self.nrows // self.block_size
+
+    @property
+    def block_cols(self) -> int:
+        return self.ncols // self.block_size
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Stored entries, counting explicit in-block zeros (the format
+        computes with them, so benchmarks must count them)."""
+        return int(self.data.size)
+
+    def _find_block(self, rb: int, cb: int) -> Optional[int]:
+        lo, hi = int(self.indptr[rb]), int(self.indptr[rb + 1])
+        kk = int(np.searchsorted(self.blockind[lo:hi], cb)) + lo
+        if kk < hi and self.blockind[kk] == cb:
+            return kk
+        return None
+
+    def get(self, r: int, c: int) -> float:
+        s = self.block_size
+        kk = self._find_block(r // s, c // s)
+        return float(self.data[kk, r % s, c % s]) if kk is not None else 0.0
+
+    def set(self, r: int, c: int, v: float) -> None:
+        s = self.block_size
+        kk = self._find_block(r // s, c // s)
+        if kk is None:
+            raise KeyError(f"({r},{c}) is not in a stored block")
+        self.data[kk, r % s, c % s] = v
+
+    def to_coo_arrays(self):
+        s = self.block_size
+        rows, cols, vals = [], [], []
+        for rb in range(self.block_rows):
+            for kk in range(int(self.indptr[rb]), int(self.indptr[rb + 1])):
+                cb = int(self.blockind[kk])
+                for ri in range(s):
+                    for ci in range(s):
+                        rows.append(rb * s + ri)
+                        cols.append(cb * s + ci)
+                        vals.append(float(self.data[kk, ri, ci]))
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals))
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        s = self.block_size
+        for rb in range(self.block_rows):
+            for kk in range(int(self.indptr[rb]), int(self.indptr[rb + 1])):
+                cb = int(self.blockind[kk])
+                out[rb * s:(rb + 1) * s, cb * s:(cb + 1) * s] = self.data[kk]
+        return out
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape, block_size: int = 2) -> "BsrMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        s = block_size
+        m, n = shape
+        if m % s or n % s:
+            raise ValueError("matrix dimensions must be multiples of the block size")
+        rb, cb = rows // s, cols // s
+        keys = rb * (n // s) + cb
+        uniq = np.unique(keys)
+        block_of = {int(k): i for i, k in enumerate(uniq)}
+        data = np.zeros((uniq.size, s, s))
+        for r, c, v in zip(rows, cols, vals):
+            kk = block_of[int((r // s) * (n // s) + (c // s))]
+            data[kk, r % s, c % s] = v
+        indptr = np.zeros(m // s + 1, dtype=np.int64)
+        np.add.at(indptr[1:], (uniq // (n // s)).astype(np.int64), 1)
+        np.cumsum(indptr, out=indptr)
+        blockind = (uniq % (n // s)).astype(np.int64)
+        return cls(indptr, blockind, data, s, shape)
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, block_size: int = 2) -> "BsrMatrix":
+        a = np.asarray(a)
+        rows, cols = np.nonzero(a)
+        return cls.from_coo(rows, cols, a[rows, cols].astype(float), a.shape, block_size)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        s = self.block_size
+        rb = LinExpr.variable("rb")
+        ri = LinExpr.variable("ri")
+        cb = LinExpr.variable("cb")
+        ci = LinExpr.variable("ci")
+        return MapTerm(
+            {"r": rb * s + ri, "c": cb * s + ci},
+            Nest(
+                interval_axis("rb"),
+                Nest(
+                    Axis("cb", INCREASING, BINARY),
+                    Cross([interval_axis("ri"), interval_axis("ci")], Value()),
+                ),
+            ),
+        )
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["rows_rc", "rows_cr"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        order = ("ri", "ci") if path_id == "rows_rc" else ("ci", "ri")
+        return BsrRuntime(self, self.path(path_id), order)
+
+    def axis_range(self, axis_name: str) -> Optional[Tuple[int, int]]:
+        if axis_name == "rb":
+            return (0, self.block_rows)
+        if axis_name == "cb":
+            return (0, self.block_cols)
+        if axis_name in ("ri", "ci"):
+            return (0, self.block_size)
+        return super().axis_range(axis_name)
+
+    def axis_total(self, axis_name):
+        if axis_name == "rb":
+            return (0, self.block_rows)
+        if axis_name in ("ri", "ci"):
+            return (0, self.block_size)
+        return None

@@ -1,0 +1,64 @@
+"""Conversions between formats (COO triples are the interchange)."""
+
+from __future__ import annotations
+
+from typing import Dict, Type, Union
+
+import numpy as np
+
+from repro.formats.base import SparseFormat
+from repro.formats.bsr import BsrMatrix
+from repro.formats.coo import CooMatrix
+from repro.formats.csc import CscMatrix
+from repro.formats.csr import CsrMatrix
+from repro.formats.dense import DenseMatrix
+from repro.formats.dia import DiaMatrix
+from repro.formats.ell import EllMatrix
+from repro.formats.jad import JadMatrix
+from repro.formats.msr import MsrMatrix
+from repro.formats.sym import SymMatrix
+
+FORMATS: Dict[str, Type[SparseFormat]] = {
+    "dense": DenseMatrix,
+    "coo": CooMatrix,
+    "csr": CsrMatrix,
+    "csc": CscMatrix,
+    "dia": DiaMatrix,
+    "ell": EllMatrix,
+    "jad": JadMatrix,
+    "bsr": BsrMatrix,
+    "msr": MsrMatrix,
+    "sym": SymMatrix,
+}
+
+
+def convert(matrix: SparseFormat, target: Union[str, Type[SparseFormat]], **kwargs) -> SparseFormat:
+    """Convert ``matrix`` to another format, preserving stored values.
+
+    ``kwargs`` are forwarded to the target constructor (e.g.
+    ``block_size=4`` for BSR).  Conversion goes through COO triples, the
+    least-common-denominator representation every format can produce and
+    consume.
+    """
+    cls = FORMATS[target] if isinstance(target, str) else target
+    rows, cols, vals = matrix.to_coo_arrays()
+    out = cls.from_coo(rows, cols, vals, matrix.shape, **kwargs)
+    if matrix.bounds() is not None:
+        out.annotate_bounds(matrix.bounds())
+    return out
+
+
+def as_format(a, target: Union[str, Type[SparseFormat]], **kwargs) -> SparseFormat:
+    """Build a format instance from a dense ndarray, a scipy sparse matrix,
+    or another format instance."""
+    cls = FORMATS[target] if isinstance(target, str) else target
+    if isinstance(a, SparseFormat):
+        return convert(a, cls, **kwargs)
+    if isinstance(a, np.ndarray):
+        if cls is BsrMatrix:
+            return BsrMatrix.from_dense(a, **kwargs)
+        return cls.from_dense(a, **kwargs)
+    # assume scipy sparse
+    return cls.from_scipy(a, **kwargs) if not kwargs else convert(
+        CooMatrix.from_scipy(a), cls, **kwargs
+    )

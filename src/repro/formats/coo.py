@@ -1,0 +1,95 @@
+"""Co-ordinate storage (COO): ``<r, c> -> v`` (paper Figure 1).
+
+Three parallel arrays hold the non-zeros and their positions; entries may be
+in arbitrary order, so the only efficient operation is a flat enumeration of
+all entries, yielding the row and column *jointly* and unordered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import Axis, Joint, LINEAR, Term, UNORDERED, Value
+
+
+class CooRuntime(PathRuntime):
+    def __init__(self, fmt: "CooMatrix", path):
+        self.fmt = fmt
+        self.path = path
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        rows, cols = self.fmt.rows, self.fmt.cols
+        for k in range(len(rows)):
+            yield (int(rows[k]), int(cols[k])), k
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        r, c = keys
+        rows, cols = self.fmt.rows, self.fmt.cols
+        hits = np.nonzero((rows == r) & (cols == c))[0]
+        return int(hits[0]) if hits.size else None
+
+    def get(self, prefix: Tuple) -> float:
+        (k,) = prefix
+        return float(self.fmt.vals[k])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        (k,) = prefix
+        self.fmt.vals[k] = value
+
+
+class CooMatrix(SparseFormat):
+    """Coordinate storage.  Entries are stored in whatever order they were
+    given (after duplicate summing); nothing is sorted, exactly because the
+    format makes no ordering promise."""
+
+    format_name = "coo"
+
+    def __init__(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray,
+                 shape: Tuple[int, int]):
+        super().__init__(shape)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        self.vals = np.asarray(vals, dtype=np.float64)
+        if not (self.rows.shape == self.cols.shape == self.vals.shape):
+            raise ValueError("rows/cols/vals length mismatch")
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.vals.size)
+
+    def get(self, r: int, c: int) -> float:
+        hits = np.nonzero((self.rows == r) & (self.cols == c))[0]
+        return float(self.vals[hits[0]]) if hits.size else 0.0
+
+    def set(self, r: int, c: int, v: float) -> None:
+        hits = np.nonzero((self.rows == r) & (self.cols == c))[0]
+        if not hits.size:
+            raise KeyError(f"({r},{c}) is not stored (fill is not supported)")
+        self.vals[hits[0]] = v
+
+    def to_coo_arrays(self):
+        return self.rows.copy(), self.cols.copy(), self.vals.copy()
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "CooMatrix":
+        # canonicalize duplicates but deliberately *shuffle* nothing: COO
+        # preserves whatever order canonicalization produces
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls(rows, cols, vals, shape)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        return Joint(
+            [Axis("r", UNORDERED, LINEAR), Axis("c", UNORDERED, LINEAR)],
+            Value(),
+        )
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["flat"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        return CooRuntime(self, self.path(path_id))

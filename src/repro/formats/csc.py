@@ -1,0 +1,126 @@
+"""Compressed Sparse Column storage (CSC): ``c -> r -> v`` — the transpose
+of CSR (paper Section 1): indexed access to columns, sorted rows within each
+column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import Axis, BINARY, INCREASING, Nest, Term, Value, interval_axis
+
+
+class CscRuntime(PathRuntime):
+    def __init__(self, fmt: "CscMatrix", path):
+        self.fmt = fmt
+        self.path = path
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        if step == 0:
+            for c in range(self.fmt.ncols):
+                yield (c,), c
+        else:
+            (c,) = prefix
+            lo, hi = int(self.fmt.colptr[c]), int(self.fmt.colptr[c + 1])
+            rowind = self.fmt.rowind
+            for jj in range(lo, hi):
+                yield (int(rowind[jj]),), jj
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        if step == 0:
+            (c,) = keys
+            return c if 0 <= c < self.fmt.ncols else None
+        (c,) = prefix
+        (r,) = keys
+        lo, hi = int(self.fmt.colptr[c]), int(self.fmt.colptr[c + 1])
+        jj = int(np.searchsorted(self.fmt.rowind[lo:hi], r)) + lo
+        if jj < hi and self.fmt.rowind[jj] == r:
+            return jj
+        return None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        return (0, self.fmt.ncols) if step == 0 else None
+
+    def get(self, prefix: Tuple) -> float:
+        return float(self.fmt.values[prefix[1]])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        self.fmt.values[prefix[1]] = value
+
+
+class CscMatrix(SparseFormat):
+    """CSC: ``colptr`` (n+1), ``rowind`` (nnz, sorted within each column),
+    ``values`` (nnz)."""
+
+    format_name = "csc"
+
+    def __init__(self, colptr: np.ndarray, rowind: np.ndarray, values: np.ndarray,
+                 shape: Tuple[int, int]):
+        super().__init__(shape)
+        self.colptr = np.asarray(colptr, dtype=np.int64)
+        self.rowind = np.asarray(rowind, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.colptr.size != self.ncols + 1:
+            raise ValueError("colptr must have ncols+1 entries")
+        if self.rowind.shape != self.values.shape:
+            raise ValueError("rowind/values length mismatch")
+        if self.colptr[0] != 0 or self.colptr[-1] != self.rowind.size:
+            raise ValueError("colptr endpoints inconsistent with nnz")
+        if np.any(np.diff(self.colptr) < 0):
+            raise ValueError("colptr must be non-decreasing")
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def col_slice(self, c: int) -> Tuple[int, int]:
+        return int(self.colptr[c]), int(self.colptr[c + 1])
+
+    def get(self, r: int, c: int) -> float:
+        lo, hi = self.col_slice(c)
+        jj = int(np.searchsorted(self.rowind[lo:hi], r)) + lo
+        if jj < hi and self.rowind[jj] == r:
+            return float(self.values[jj])
+        return 0.0
+
+    def set(self, r: int, c: int, v: float) -> None:
+        lo, hi = self.col_slice(c)
+        jj = int(np.searchsorted(self.rowind[lo:hi], r)) + lo
+        if jj < hi and self.rowind[jj] == r:
+            self.values[jj] = v
+            return
+        raise KeyError(f"({r},{c}) is not stored (fill is not supported)")
+
+    def to_coo_arrays(self):
+        cols = np.repeat(np.arange(self.ncols, dtype=np.int64), np.diff(self.colptr))
+        return self.rowind.copy(), cols, self.values.copy()
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "CscMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="col")
+        m, n = shape
+        colptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(colptr[1:], cols, 1)
+        np.cumsum(colptr, out=colptr)
+        return cls(colptr, rows, vals, shape)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        return Nest(
+            interval_axis("c"),
+            Nest(Axis("r", INCREASING, BINARY), Value()),
+        )
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["cols"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        return CscRuntime(self, self.path(path_id))
+
+    def axis_total(self, axis_name):
+        # every column index in [0, n) is enumerated, including empty ones
+        return (0, self.ncols) if axis_name == "c" else None

@@ -1,0 +1,128 @@
+"""Compressed Sparse Row storage (CSR): ``r -> c -> v`` (paper Figure 1).
+
+Rows are randomly accessible (an interval); within a row the stored column
+indices are kept sorted, so columns enumerate in increasing order and can be
+searched with binary search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import Axis, BINARY, INCREASING, Nest, Term, Value, interval_axis
+
+
+class CsrRuntime(PathRuntime):
+    def __init__(self, fmt: "CsrMatrix", path):
+        self.fmt = fmt
+        self.path = path
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        if step == 0:
+            for r in range(self.fmt.nrows):
+                yield (r,), r
+        else:
+            (r,) = prefix
+            lo, hi = int(self.fmt.rowptr[r]), int(self.fmt.rowptr[r + 1])
+            colind = self.fmt.colind
+            for jj in range(lo, hi):
+                yield (int(colind[jj]),), jj
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        if step == 0:
+            (r,) = keys
+            return r if 0 <= r < self.fmt.nrows else None
+        (r,) = prefix
+        (c,) = keys
+        lo, hi = int(self.fmt.rowptr[r]), int(self.fmt.rowptr[r + 1])
+        jj = int(np.searchsorted(self.fmt.colind[lo:hi], c)) + lo
+        if jj < hi and self.fmt.colind[jj] == c:
+            return jj
+        return None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        return (0, self.fmt.nrows) if step == 0 else None
+
+    def get(self, prefix: Tuple) -> float:
+        return float(self.fmt.values[prefix[1]])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        self.fmt.values[prefix[1]] = value
+
+
+class CsrMatrix(SparseFormat):
+    """CSR: ``rowptr`` (m+1), ``colind`` (nnz, sorted within each row),
+    ``values`` (nnz)."""
+
+    format_name = "csr"
+
+    def __init__(self, rowptr: np.ndarray, colind: np.ndarray, values: np.ndarray,
+                 shape: Tuple[int, int]):
+        super().__init__(shape)
+        self.rowptr = np.asarray(rowptr, dtype=np.int64)
+        self.colind = np.asarray(colind, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.rowptr.size != self.nrows + 1:
+            raise ValueError("rowptr must have nrows+1 entries")
+        if self.colind.shape != self.values.shape:
+            raise ValueError("colind/values length mismatch")
+        if self.rowptr[0] != 0 or self.rowptr[-1] != self.colind.size:
+            raise ValueError("rowptr endpoints inconsistent with nnz")
+        if np.any(np.diff(self.rowptr) < 0):
+            raise ValueError("rowptr must be non-decreasing")
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.values.size)
+
+    def row_slice(self, r: int) -> Tuple[int, int]:
+        return int(self.rowptr[r]), int(self.rowptr[r + 1])
+
+    def get(self, r: int, c: int) -> float:
+        lo, hi = self.row_slice(r)
+        jj = int(np.searchsorted(self.colind[lo:hi], c)) + lo
+        if jj < hi and self.colind[jj] == c:
+            return float(self.values[jj])
+        return 0.0
+
+    def set(self, r: int, c: int, v: float) -> None:
+        lo, hi = self.row_slice(r)
+        jj = int(np.searchsorted(self.colind[lo:hi], c)) + lo
+        if jj < hi and self.colind[jj] == c:
+            self.values[jj] = v
+            return
+        raise KeyError(f"({r},{c}) is not stored (fill is not supported)")
+
+    def to_coo_arrays(self):
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.rowptr))
+        return rows, self.colind.copy(), self.values.copy()
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "CsrMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        m, n = shape
+        rowptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(rowptr[1:], rows, 1)
+        np.cumsum(rowptr, out=rowptr)
+        return cls(rowptr, cols, vals, shape)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        return Nest(
+            interval_axis("r"),
+            Nest(Axis("c", INCREASING, BINARY), Value()),
+        )
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["rows"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        return CsrRuntime(self, self.path(path_id))
+
+    def axis_total(self, axis_name):
+        # every row index in [0, m) is enumerated, including empty rows
+        return (0, self.nrows) if axis_name == "r" else None

@@ -1,0 +1,118 @@
+"""Dense storage as a (degenerate) format: ``(r x c) -> v``.
+
+Useful both as a baseline and to check that the sparse compiler degenerates
+gracefully: compiling a kernel "for" the dense format must reproduce the
+original dense loop nest.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat
+from repro.formats.views import Cross, Term, Value, interval_axis
+
+
+class DenseRuntime(PathRuntime):
+    """Runtime for either traversal order of a dense matrix."""
+
+    def __init__(self, fmt: "DenseMatrix", path, axis_order: Tuple[str, str]):
+        self.fmt = fmt
+        self.path = path
+        self.axis_order = axis_order  # ("r","c") for rowmajor
+
+    def _extent(self, axis: str) -> int:
+        return self.fmt.nrows if axis == "r" else self.fmt.ncols
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        axis = self.axis_order[step]
+        for v in range(self._extent(axis)):
+            yield (v,), v
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        axis = self.axis_order[step]
+        (v,) = keys
+        return v if 0 <= v < self._extent(axis) else None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        return (0, self._extent(self.axis_order[step]))
+
+    def _rc(self, prefix: Tuple) -> Tuple[int, int]:
+        d = dict(zip(self.axis_order, prefix))
+        return d["r"], d["c"]
+
+    def get(self, prefix: Tuple) -> float:
+        r, c = self._rc(prefix)
+        return float(self.fmt.data[r, c])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        r, c = self._rc(prefix)
+        self.fmt.data[r, c] = value
+
+
+class DenseMatrix(SparseFormat):
+    """A dense 2-D array wearing the format interface."""
+
+    format_name = "dense"
+
+    def __init__(self, data: np.ndarray):
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError("DenseMatrix needs a 2-D array")
+        super().__init__(data.shape)
+        self.data = data
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(np.count_nonzero(self.data))
+
+    def get(self, r: int, c: int) -> float:
+        return float(self.data[r, c])
+
+    def set(self, r: int, c: int, v: float) -> None:
+        self.data[r, c] = v
+
+    def to_coo_arrays(self):
+        rows, cols = np.nonzero(self.data)
+        return rows.astype(np.int64), cols.astype(np.int64), self.data[rows, cols]
+
+    def to_dense(self) -> np.ndarray:
+        return self.data.copy()
+
+    def copy(self) -> "DenseMatrix":
+        return DenseMatrix(self.data.copy())
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "DenseMatrix":
+        from repro.formats.base import coo_dedup_sort
+
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        out = np.zeros(shape)
+        out[rows, cols] = vals
+        return cls(out)
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray) -> "DenseMatrix":
+        return cls(np.array(a, dtype=np.float64))
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        return Cross([interval_axis("r"), interval_axis("c")], Value())
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["rowmajor", "colmajor"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        p = self.path(path_id)
+        order = ("r", "c") if path_id == "rowmajor" else ("c", "r")
+        return DenseRuntime(self, p, order)
+
+    def axis_total(self, axis_name):
+        if axis_name == "r":
+            return (0, self.nrows)
+        if axis_name == "c":
+            return (0, self.ncols)
+        return None

@@ -1,0 +1,144 @@
+"""ELLPACK/ITPACK storage (ELL): ``r -> c -> v`` with a fixed number of
+slots per row.
+
+``colind``/``data`` are (m x K) arrays; row ``r`` stores its entries (column
+indices sorted increasingly) in slots ``0..rowlen[r])``, the rest is padding.
+Structurally like CSR (rows are an interval, columns increase within a row),
+but with the regular layout vector machines like.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import Axis, BINARY, INCREASING, Nest, Term, Value, interval_axis
+
+
+class EllRuntime(PathRuntime):
+    def __init__(self, fmt: "EllMatrix", path):
+        self.fmt = fmt
+        self.path = path
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        if step == 0:
+            for r in range(self.fmt.nrows):
+                yield (r,), r
+        else:
+            (r,) = prefix
+            for kk in range(int(self.fmt.rowlen[r])):
+                yield (int(self.fmt.colind[r, kk]),), kk
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        if step == 0:
+            (r,) = keys
+            return r if 0 <= r < self.fmt.nrows else None
+        (r,) = prefix
+        (c,) = keys
+        ln = int(self.fmt.rowlen[r])
+        kk = int(np.searchsorted(self.fmt.colind[r, :ln], c))
+        if kk < ln and self.fmt.colind[r, kk] == c:
+            return kk
+        return None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        return (0, self.fmt.nrows) if step == 0 else None
+
+    def get(self, prefix: Tuple) -> float:
+        r, kk = prefix
+        return float(self.fmt.data[r, kk])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        r, kk = prefix
+        self.fmt.data[r, kk] = value
+
+
+class EllMatrix(SparseFormat):
+    """ELL: ``colind``/``data`` (m x K), ``rowlen`` (m)."""
+
+    format_name = "ell"
+
+    def __init__(self, colind: np.ndarray, data: np.ndarray, rowlen: np.ndarray,
+                 shape: Tuple[int, int]):
+        super().__init__(shape)
+        self.colind = np.asarray(colind, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.rowlen = np.asarray(rowlen, dtype=np.int64)
+        if self.colind.shape != self.data.shape:
+            raise ValueError("colind/data shape mismatch")
+        if self.colind.ndim != 2 or self.colind.shape[0] != self.nrows:
+            raise ValueError("colind must be (nrows, K)")
+        if self.rowlen.shape != (self.nrows,):
+            raise ValueError("rowlen must have nrows entries")
+        if self.rowlen.size and self.rowlen.max(initial=0) > self.colind.shape[1]:
+            raise ValueError("rowlen exceeds slot count")
+
+    @property
+    def slots(self) -> int:
+        return self.colind.shape[1]
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.rowlen.sum())
+
+    def get(self, r: int, c: int) -> float:
+        ln = int(self.rowlen[r])
+        kk = int(np.searchsorted(self.colind[r, :ln], c))
+        if kk < ln and self.colind[r, kk] == c:
+            return float(self.data[r, kk])
+        return 0.0
+
+    def set(self, r: int, c: int, v: float) -> None:
+        ln = int(self.rowlen[r])
+        kk = int(np.searchsorted(self.colind[r, :ln], c))
+        if kk < ln and self.colind[r, kk] == c:
+            self.data[r, kk] = v
+            return
+        raise KeyError(f"({r},{c}) is not stored (fill is not supported)")
+
+    def to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for r in range(self.nrows):
+            ln = int(self.rowlen[r])
+            rows.append(np.full(ln, r, dtype=np.int64))
+            cols.append(self.colind[r, :ln])
+            vals.append(self.data[r, :ln])
+        if not rows:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z.copy(), np.zeros(0)
+        return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "EllMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        m, n = shape
+        counts = np.zeros(m, dtype=np.int64)
+        np.add.at(counts, rows, 1)
+        K = int(counts.max(initial=0))
+        colind = np.zeros((m, max(K, 1)), dtype=np.int64)
+        data = np.zeros((m, max(K, 1)))
+        slot = np.zeros(m, dtype=np.int64)
+        for r, c, v in zip(rows, cols, vals):
+            colind[r, slot[r]] = c
+            data[r, slot[r]] = v
+            slot[r] += 1
+        return cls(colind, data, counts, shape)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        return Nest(
+            interval_axis("r"),
+            Nest(Axis("c", INCREASING, BINARY), Value()),
+        )
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["rows"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        return EllRuntime(self, self.path(path_id))
+
+    def axis_total(self, axis_name):
+        return (0, self.nrows) if axis_name == "r" else None

@@ -1,0 +1,234 @@
+"""Symmetric storage (SYM): only the lower triangle is stored; the upper
+triangle exists through the transpose map.
+
+Index structure — an aggregation of the stored triangle and its mirrored
+image, exercising Union and Map together:
+
+    (r -> c -> v)                                  [stored: c <= r]
+  U map{cc |-> r, rr |-> c : rr -> cc -> v}        [mirror: strictly lower]
+
+A statement touching a SYM matrix is split into two copies (paper
+Section 4): one walks the stored lower-triangular CSR, the other walks the
+same arrays with the row/column roles swapped (skipping the diagonal so
+elements are not visited twice).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.views import (
+    Axis,
+    BINARY,
+    INCREASING,
+    MapTerm,
+    Nest,
+    Term,
+    Union,
+    Value,
+    interval_axis,
+)
+from repro.polyhedra.linexpr import LinExpr
+
+
+class SymLowerRuntime(PathRuntime):
+    """The stored triangle, walked as CSR rows."""
+
+    def __init__(self, fmt: "SymMatrix", path):
+        self.fmt = fmt
+        self.path = path
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        fmt = self.fmt
+        if step == 0:
+            for r in range(fmt.nrows):
+                yield (r,), r
+        else:
+            (r,) = prefix
+            for jj in range(int(fmt.rowptr[r]), int(fmt.rowptr[r + 1])):
+                yield (int(fmt.colind[jj]),), jj
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        fmt = self.fmt
+        if step == 0:
+            (r,) = keys
+            return r if 0 <= r < fmt.nrows else None
+        (r,) = prefix
+        (c,) = keys
+        lo, hi = int(fmt.rowptr[r]), int(fmt.rowptr[r + 1])
+        jj = int(np.searchsorted(fmt.colind[lo:hi], c)) + lo
+        if jj < hi and fmt.colind[jj] == c:
+            return jj
+        return None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        return (0, self.fmt.nrows) if step == 0 else None
+
+    def get(self, prefix: Tuple) -> float:
+        return float(self.fmt.values[prefix[1]])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        self.fmt.values[prefix[1]] = value
+
+
+class SymMirrorRuntime(PathRuntime):
+    """The mirrored image: same arrays, strictly-lower entries only (the
+    diagonal belongs to the stored branch), axes named (rr, cc) with the
+    map swapping them into logical coordinates."""
+
+    def __init__(self, fmt: "SymMatrix", path):
+        self.fmt = fmt
+        self.path = path
+
+    def enumerate(self, step: int, prefix: Tuple) -> Iterator[Tuple[Tuple[int, ...], object]]:
+        fmt = self.fmt
+        if step == 0:
+            for rr in range(fmt.nrows):
+                yield (rr,), rr
+        else:
+            (rr,) = prefix
+            for jj in range(int(fmt.rowptr[rr]), int(fmt.rowptr[rr + 1])):
+                cc = int(fmt.colind[jj])
+                if cc != rr:  # strictly lower only
+                    yield (cc,), jj
+
+    def search(self, step: int, prefix: Tuple, keys: Tuple[int, ...]) -> Optional[object]:
+        fmt = self.fmt
+        if step == 0:
+            (rr,) = keys
+            return rr if 0 <= rr < fmt.nrows else None
+        (rr,) = prefix
+        (cc,) = keys
+        if cc == rr:
+            return None
+        lo, hi = int(fmt.rowptr[rr]), int(fmt.rowptr[rr + 1])
+        jj = int(np.searchsorted(fmt.colind[lo:hi], cc)) + lo
+        if jj < hi and fmt.colind[jj] == cc:
+            return jj
+        return None
+
+    def interval(self, step: int, prefix: Tuple) -> Optional[Tuple[int, int]]:
+        return (0, self.fmt.nrows) if step == 0 else None
+
+    def get(self, prefix: Tuple) -> float:
+        return float(self.fmt.values[prefix[1]])
+
+    def set(self, prefix: Tuple, value: float) -> None:
+        self.fmt.values[prefix[1]] = value
+
+
+class SymMatrix(SparseFormat):
+    """Symmetric matrix stored as the CSR of its lower triangle."""
+
+    format_name = "sym"
+
+    def __init__(self, rowptr: np.ndarray, colind: np.ndarray, values: np.ndarray,
+                 shape: Tuple[int, int]):
+        super().__init__(shape)
+        if self.nrows != self.ncols:
+            raise ValueError("symmetric storage requires a square matrix")
+        self.rowptr = np.asarray(rowptr, dtype=np.int64)
+        self.colind = np.asarray(colind, dtype=np.int64)
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.rowptr.size != self.nrows + 1:
+            raise ValueError("rowptr must have nrows+1 entries")
+        rows = np.repeat(np.arange(self.nrows), np.diff(self.rowptr))
+        if np.any(self.colind > rows):
+            raise ValueError("symmetric storage keeps only the lower triangle")
+
+    # -- high-level API ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Logical non-zeros (mirrored entries counted)."""
+        rows = np.repeat(np.arange(self.nrows), np.diff(self.rowptr))
+        off = int(np.count_nonzero(rows != self.colind))
+        return int(self.values.size + off)
+
+    @property
+    def stored_nnz(self) -> int:
+        return int(self.values.size)
+
+    def _find(self, r: int, c: int) -> Optional[int]:
+        if c > r:
+            r, c = c, r
+        lo, hi = int(self.rowptr[r]), int(self.rowptr[r + 1])
+        jj = int(np.searchsorted(self.colind[lo:hi], c)) + lo
+        if jj < hi and self.colind[jj] == c:
+            return jj
+        return None
+
+    def get(self, r: int, c: int) -> float:
+        jj = self._find(r, c)
+        return float(self.values[jj]) if jj is not None else 0.0
+
+    def set(self, r: int, c: int, v: float) -> None:
+        jj = self._find(r, c)
+        if jj is None:
+            raise KeyError(f"({r},{c}) is not stored (fill is not supported)")
+        self.values[jj] = v
+
+    def to_coo_arrays(self):
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64),
+                         np.diff(self.rowptr))
+        off = rows != self.colind
+        return (np.concatenate([rows, self.colind[off]]),
+                np.concatenate([self.colind, rows[off]]),
+                np.concatenate([self.values, self.values[off]]))
+
+    @classmethod
+    def from_coo(cls, rows, cols, vals, shape) -> "SymMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        # verify symmetry, then keep the lower triangle
+        dense_check = {}
+        for r, c, v in zip(rows, cols, vals):
+            dense_check[(int(r), int(c))] = float(v)
+        for (r, c), v in dense_check.items():
+            if abs(dense_check.get((c, r), 0.0) - v) > 1e-12:
+                raise ValueError(f"matrix is not symmetric at ({r},{c})")
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        m = shape[0]
+        rowptr = np.zeros(m + 1, dtype=np.int64)
+        np.add.at(rowptr[1:], rows, 1)
+        np.cumsum(rowptr, out=rowptr)
+        return cls(rowptr, cols, vals, shape)
+
+    # -- low-level API -------------------------------------------------------
+    def view(self) -> Term:
+        stored = Nest(interval_axis("r"),
+                      Nest(Axis("c", INCREASING, BINARY), Value()))
+        mirror = MapTerm(
+            {"r": LinExpr.variable("cc"), "c": LinExpr.variable("rr")},
+            Nest(interval_axis("rr"),
+                 Nest(Axis("cc", INCREASING, BINARY), Value())),
+        )
+        return Union(stored, mirror)
+
+    def path_ids(self) -> Optional[List[str]]:
+        return ["lower", "mirror"]
+
+    def runtime(self, path_id: str) -> PathRuntime:
+        if path_id == "lower":
+            return SymLowerRuntime(self, self.path(path_id))
+        if path_id == "mirror":
+            return SymMirrorRuntime(self, self.path(path_id))
+        raise KeyError(path_id)
+
+    def axis_range(self, axis_name: str) -> Optional[Tuple[int, int]]:
+        if axis_name in ("rr", "cc"):
+            return (0, self.nrows)
+        return super().axis_range(axis_name)
+
+    def axis_total(self, axis_name: str) -> Optional[Tuple[int, int]]:
+        if axis_name in ("r", "rr"):
+            return (0, self.nrows)
+        return None
+
+    def bounds(self) -> Optional[object]:
+        # the stored branch satisfies c <= r; the mirror strictly c > r —
+        # per-branch constraints are carried by the paths' subs and axis
+        # ranges; a whole-matrix annotation would be wrong, so none is set
+        return getattr(self, "_bounds", None)

@@ -1,0 +1,81 @@
+"""The high-level API: dense matrix programs as imperfectly-nested affine
+loop nests.
+
+This is the "dense matrix code" input of the paper (Section 1): the algorithm
+designer writes as though every matrix were a random-access dense array; the
+compiler (:mod:`repro.core`) restructures it to match the sparse formats the
+matrices are actually stored in.
+
+Submodules:
+
+- :mod:`repro.ir.expr` — affine index expressions and scalar value
+  expressions;
+- :mod:`repro.ir.stmt` — array references and assignment statements;
+- :mod:`repro.ir.program` — loops, programs, statement contexts;
+- :mod:`repro.ir.builder` — convenience constructors;
+- :mod:`repro.ir.parser` — a small C-like textual front-end;
+- :mod:`repro.ir.printer` — pretty-printing back to that syntax;
+- :mod:`repro.ir.interp` — a dense reference interpreter (the semantic
+  oracle used by the test-suite);
+- :mod:`repro.ir.validate` — static checks (affineness, declared arrays,
+  loop-variable scoping).
+"""
+
+from repro.ir.expr import AffExpr, VConst, VParam, VRead, VBin, VNeg, ValExpr
+from repro.ir.stmt import ArrayRef, Statement
+from repro.ir.program import Loop, Program, StatementContext
+from repro.ir.builder import (
+    aff,
+    assign,
+    loop,
+    matrix,
+    mul,
+    div,
+    add,
+    sub,
+    neg,
+    program,
+    read,
+    ref,
+    vector,
+    scalar,
+    cnum,
+)
+from repro.ir.parser import parse_program
+from repro.ir.printer import program_to_text
+from repro.ir.interp import execute_dense
+from repro.ir.validate import validate_program
+
+__all__ = [
+    "AffExpr",
+    "ValExpr",
+    "VConst",
+    "VParam",
+    "VRead",
+    "VBin",
+    "VNeg",
+    "ArrayRef",
+    "Statement",
+    "Loop",
+    "Program",
+    "StatementContext",
+    "aff",
+    "assign",
+    "loop",
+    "matrix",
+    "vector",
+    "scalar",
+    "mul",
+    "div",
+    "add",
+    "sub",
+    "neg",
+    "cnum",
+    "program",
+    "read",
+    "ref",
+    "parse_program",
+    "program_to_text",
+    "execute_dense",
+    "validate_program",
+]

@@ -1,0 +1,112 @@
+"""Convenience constructors for building IR programs in Python.
+
+Example (the paper's Figure 4, generic triangular solve)::
+
+    ts = program(
+        "ts", params=["n"],
+        arrays={"L": matrix("L"), "b": vector("b")},
+        body=[
+            loop("j", 0, "n", [
+                assign(ref("b", "j"), div(read("b", "j"), read("L", "j", "j"))),
+                loop("i", aff("j") + 1, "n", [
+                    assign(ref("b", "i"),
+                           sub(read("b", "i"), mul(read("L", "i", "j"), read("b", "j")))),
+                ]),
+            ]),
+        ],
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.ir.expr import AffExpr, ValExpr, VBin, VConst, VNeg, VParam, VRead
+from repro.ir.program import ArrayDecl, Loop, Program
+from repro.ir.stmt import ArrayRef, Statement
+from repro.polyhedra.system import System
+
+
+def aff(x) -> AffExpr:
+    """Affine index expression from an int, a variable name, or AffExpr."""
+    return AffExpr(x)
+
+
+def matrix(name: str = "") -> ArrayDecl:
+    return ArrayDecl(name, "matrix")
+
+
+def vector(name: str = "") -> ArrayDecl:
+    return ArrayDecl(name, "vector")
+
+
+def scalar(name: str = "") -> ArrayDecl:
+    return ArrayDecl(name, "scalar")
+
+
+def ref(array: str, *indices) -> ArrayRef:
+    """An lvalue array reference: ``ref("b", "i")`` is ``b[i]``."""
+    return ArrayRef(array, [AffExpr(i) for i in indices])
+
+
+def read(array: str, *indices) -> VRead:
+    """An rvalue array read: ``read("L", "i", "j")`` is ``L[i][j]``."""
+    return VRead(array, [AffExpr(i) for i in indices])
+
+
+def cnum(v: float) -> VConst:
+    return VConst(v)
+
+
+def param(name: str) -> VParam:
+    return VParam(name)
+
+
+def _val(x) -> ValExpr:
+    if isinstance(x, ValExpr):
+        return x
+    if isinstance(x, (int, float)):
+        return VConst(x)
+    raise TypeError(f"cannot coerce {type(x).__name__} to ValExpr")
+
+
+def add(a, b) -> VBin:
+    return VBin("+", _val(a), _val(b))
+
+
+def sub(a, b) -> VBin:
+    return VBin("-", _val(a), _val(b))
+
+
+def mul(a, b) -> VBin:
+    return VBin("*", _val(a), _val(b))
+
+
+def div(a, b) -> VBin:
+    return VBin("/", _val(a), _val(b))
+
+
+def neg(a) -> VNeg:
+    return VNeg(_val(a))
+
+
+def assign(lhs: ArrayRef, rhs) -> Statement:
+    return Statement(lhs, _val(rhs))
+
+
+def loop(var: str, lower, upper, body: Sequence) -> Loop:
+    return Loop(var, lower, upper, body)
+
+
+def program(
+    name: str,
+    params: Sequence[str],
+    arrays: Mapping[str, ArrayDecl],
+    body: Sequence,
+    assumptions: Optional[System] = None,
+) -> Program:
+    # fill in declaration names from the mapping keys
+    filled = {}
+    for k, d in arrays.items():
+        filled[k] = ArrayDecl(k, d.kind) if d.name != k else d
+    return Program(name, params, filled, body, assumptions)

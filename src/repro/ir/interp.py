@@ -1,0 +1,86 @@
+"""Dense reference interpreter for IR programs.
+
+Executes a program exactly as written, treating every array as a dense
+NumPy array.  This is the *semantic oracle*: whatever the sparse compiler
+produces must compute the same values (on the same input, densified).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.ir.expr import AffExpr, ValExpr, VBin, VConst, VNeg, VParam, VRead
+from repro.ir.program import Loop, Program
+from repro.ir.stmt import Statement
+
+
+def _eval_val(e: ValExpr, env: Dict[str, int], arrays: Mapping[str, np.ndarray],
+              params: Mapping[str, float]) -> float:
+    if isinstance(e, VConst):
+        return e.value
+    if isinstance(e, VParam):
+        return params[e.name]
+    if isinstance(e, VRead):
+        if e.array == "__var__":
+            return e.indices[0].evaluate(env)
+        idx = tuple(i.evaluate(env) for i in e.indices)
+        a = arrays[e.array]
+        return a[idx] if idx else a[()]
+    if isinstance(e, VNeg):
+        return -_eval_val(e.operand, env, arrays, params)
+    if isinstance(e, VBin):
+        l = _eval_val(e.left, env, arrays, params)
+        r = _eval_val(e.right, env, arrays, params)
+        if e.op == "+":
+            return l + r
+        if e.op == "-":
+            return l - r
+        if e.op == "*":
+            return l * r
+        return l / r
+    raise TypeError(f"unknown ValExpr {type(e).__name__}")
+
+
+def execute_dense(
+    program: Program,
+    arrays: Mapping[str, np.ndarray],
+    params: Mapping[str, int],
+) -> None:
+    """Run ``program`` in place on the given arrays.
+
+    ``params`` supplies integer values for the symbolic size parameters and
+    any scalar value parameters.  Arrays are modified in place (matching the
+    paper's convention, e.g. the TS result is stored back into ``b``).
+    """
+    for name in program.referenced_arrays():
+        if name not in arrays:
+            raise KeyError(f"program references array {name!r} not supplied")
+
+    env: Dict[str, int] = {}
+    # parameters are visible inside index expressions
+    int_params = {k: int(v) for k, v in params.items() if float(v) == int(v)}
+
+    def run(items):
+        for item in items:
+            if isinstance(item, Statement):
+                idx_env = {**int_params, **env}
+                idx = tuple(i.evaluate(idx_env) for i in item.lhs.indices)
+                value = _eval_val(item.rhs, idx_env, arrays, params)
+                a = arrays[item.lhs.array]
+                if idx:
+                    a[idx] = value
+                else:
+                    a[()] = value
+            else:
+                idx_env = {**int_params, **env}
+                lo = item.lower.evaluate(idx_env)
+                hi = item.upper.evaluate(idx_env)
+                for v in range(lo, hi):
+                    env[item.var] = v
+                    run(item.body)
+                    idx_env = {**int_params, **env}
+                env.pop(item.var, None)
+
+    run(program.body)

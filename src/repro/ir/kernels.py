@@ -1,0 +1,268 @@
+"""Canonical dense-program kernels, written once in the high-level API.
+
+These are the BLAS routines of paper Figure 3 (and the paper's running
+examples), expressed exactly as an algorithm designer would write them for
+dense matrices.  The sparse compiler instantiates them for any format.
+
+Every function returns a *fresh* :class:`~repro.ir.program.Program` (programs
+carry statement names and are cheap to rebuild).
+"""
+
+from __future__ import annotations
+
+from repro.ir.parser import parse_program
+from repro.ir.program import Program
+
+
+def mvm() -> Program:
+    """Matrix–vector multiplication ``y = A x`` (imperfectly nested: the
+    initialization of ``y[i]`` sits outside the ``j`` loop)."""
+    return parse_program(
+        """
+        mvm(m, n; A: matrix, x: vector, y: vector) {
+            for i = 0 : m {
+                y[i] = 0;
+                for j = 0 : n {
+                    y[i] = y[i] + A[i][j] * x[j];
+                }
+            }
+        }
+        """
+    )
+
+
+def mvm_acc() -> Program:
+    """Accumulating MVM ``y += A x`` (perfectly nested, no init statement)."""
+    return parse_program(
+        """
+        mvm_acc(m, n; A: matrix, x: vector, y: vector) {
+            for i = 0 : m {
+                for j = 0 : n {
+                    y[i] = y[i] + A[i][j] * x[j];
+                }
+            }
+        }
+        """
+    )
+
+
+def mvm_t() -> Program:
+    """Transposed MVM ``y = A^T x``."""
+    return parse_program(
+        """
+        mvm_t(m, n; A: matrix, x: vector, y: vector) {
+            for j = 0 : n {
+                y[j] = 0;
+                for i = 0 : m {
+                    y[j] = y[j] + A[i][j] * x[i];
+                }
+            }
+        }
+        """
+    )
+
+
+def ts_lower() -> Program:
+    """Lower triangular solve, the paper's Figure 4 running example:
+    ``b := L^{-1} b``, column-oriented dense form."""
+    return parse_program(
+        """
+        ts(n; L: matrix, b: vector) {
+            for j = 0 : n {
+                b[j] = b[j] / L[j][j];
+                for i = j+1 : n {
+                    b[i] = b[i] - L[i][j] * b[j];
+                }
+            }
+        }
+        """
+    )
+
+
+def ts_lower_row() -> Program:
+    """Lower triangular solve, row-oriented (inner dot product) dense form.
+    Semantically the same solve; included to show the compiler reaches the
+    same data-centric codes from either starting point."""
+    return parse_program(
+        """
+        ts_row(n; L: matrix, b: vector) {
+            for i = 0 : n {
+                for j = 0 : i {
+                    b[i] = b[i] - L[i][j] * b[j];
+                }
+                b[i] = b[i] / L[i][i];
+            }
+        }
+        """
+    )
+
+
+def ts_upper() -> Program:
+    """Upper triangular solve ``b := U^{-1} b`` (backward substitution,
+    column-oriented)."""
+    return parse_program(
+        """
+        ts_upper(n; U: matrix, b: vector) {
+            for jr = 0 : n {
+                b[n-1-jr] = b[n-1-jr] / U[n-1-jr][n-1-jr];
+                for ir = jr+1 : n {
+                    b[n-1-ir] = b[n-1-ir] - U[n-1-ir][n-1-jr] * b[n-1-jr];
+                }
+            }
+        }
+        """
+    )
+
+
+def smvm_two() -> Program:
+    """``y = (A + A) x`` with two separate references to A — exercises
+    common enumeration (join) of two references to the same sparse matrix."""
+    return parse_program(
+        """
+        smvm_two(m, n; A: matrix, x: vector, y: vector) {
+            for i = 0 : m {
+                y[i] = 0;
+                for j = 0 : n {
+                    y[i] = y[i] + A[i][j] * x[j] + A[i][j] * x[j];
+                }
+            }
+        }
+        """
+    )
+
+
+def scale() -> Program:
+    """In-place scaling of every stored element: ``A[i][j] *= alpha``.
+    A write to the sparse matrix without fill (updates stored entries only)."""
+    return parse_program(
+        """
+        scale(m, n, alpha; A: matrix) {
+            for i = 0 : m {
+                for j = 0 : n {
+                    A[i][j] = alpha * A[i][j];
+                }
+            }
+        }
+        """
+    )
+
+
+def frobenius() -> Program:
+    """Sum of squares of all elements into a scalar accumulator."""
+    return parse_program(
+        """
+        frob(m, n; A: matrix, acc: scalar) {
+            for i = 0 : m {
+                for j = 0 : n {
+                    acc = acc + A[i][j] * A[i][j];
+                }
+            }
+        }
+        """
+    )
+
+
+def row_sums() -> Program:
+    """Row sums ``s[i] = sum_j A[i][j]`` (imperfect nest with init)."""
+    return parse_program(
+        """
+        row_sums(m, n; A: matrix, s: vector) {
+            for i = 0 : m {
+                s[i] = 0;
+                for j = 0 : n {
+                    s[i] = s[i] + A[i][j];
+                }
+            }
+        }
+        """
+    )
+
+
+def col_sums() -> Program:
+    """Column sums ``s[j] = sum_i A[i][j]``."""
+    return parse_program(
+        """
+        col_sums(m, n; A: matrix, s: vector) {
+            for j = 0 : n {
+                s[j] = 0;
+                for i = 0 : m {
+                    s[j] = s[j] + A[i][j];
+                }
+            }
+        }
+        """
+    )
+
+
+def diag_extract() -> Program:
+    """Extract the diagonal: ``d[i] = A[i][i]``."""
+    return parse_program(
+        """
+        diag(n; A: matrix, d: vector) {
+            for i = 0 : n {
+                d[i] = A[i][i];
+            }
+        }
+        """
+    )
+
+
+def add_mvm() -> Program:
+    """``y = (A + B) x`` with A and B independently sparse — each term is
+    its own statement so each matrix gets its own enumeration (writing both
+    products into one statement would wrongly intersect the structures)."""
+    return parse_program(
+        """
+        add_mvm(m, n; A: matrix, B: matrix, x: vector, y: vector) {
+            for i = 0 : m {
+                y[i] = 0;
+                for j = 0 : n {
+                    y[i] = y[i] + A[i][j] * x[j];
+                }
+                for k = 0 : n {
+                    y[i] = y[i] + B[i][k] * x[k];
+                }
+            }
+        }
+        """
+    )
+
+
+def spmm() -> Program:
+    """Sparse-times-dense matrix multiplication ``C = A B`` (C dense)."""
+    return parse_program(
+        """
+        spmm(m, n, p; A: matrix, B: matrix, C: matrix) {
+            for i = 0 : m {
+                for j = 0 : p {
+                    C[i][j] = 0;
+                }
+            }
+            for i2 = 0 : m {
+                for k = 0 : n {
+                    for j2 = 0 : p {
+                        C[i2][j2] = C[i2][j2] + A[i2][k] * B[k][j2];
+                    }
+                }
+            }
+        }
+        """
+    )
+
+
+ALL_KERNELS = {
+    "mvm": mvm,
+    "mvm_acc": mvm_acc,
+    "mvm_t": mvm_t,
+    "ts_lower": ts_lower,
+    "ts_lower_row": ts_lower_row,
+    "ts_upper": ts_upper,
+    "smvm_two": smvm_two,
+    "scale": scale,
+    "frobenius": frobenius,
+    "row_sums": row_sums,
+    "col_sums": col_sums,
+    "diag_extract": diag_extract,
+    "add_mvm": add_mvm,
+    "spmm": spmm,
+}

@@ -1,0 +1,82 @@
+"""Static validation of IR programs.
+
+Checks the assumptions the compiler relies on (paper Section 3):
+
+- all memory accesses go through declared arrays with the right arity;
+- all loop bounds and array indices are affine in surrounding loop
+  variables and symbolic constants;
+- loop variables are unique along any nesting path (shadowing would make
+  qualified names ambiguous);
+- no array aliasing is possible (array names are distinct by construction,
+  so this amounts to the declaration check).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.ir.expr import AffExpr
+from repro.ir.program import Loop, Program
+from repro.ir.stmt import Statement
+
+
+class ValidationError(ValueError):
+    """Aggregates all problems found in a program."""
+
+    def __init__(self, problems: Sequence[str]):
+        super().__init__("; ".join(problems))
+        self.problems = list(problems)
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ValidationError` if the program violates any compiler
+    assumption; return silently otherwise."""
+    problems: List[str] = []
+    params = set(program.params)
+
+    def check_affine(e: AffExpr, scope: Set[str], where: str) -> None:
+        for v in e.variables():
+            if v not in scope and v not in params:
+                problems.append(f"{where}: unknown variable {v!r}")
+
+    def walk(items, scope: Set[str], path: str):
+        for item in items:
+            if isinstance(item, Statement):
+                where = f"{item.name or path}"
+                decl = program.arrays.get(item.lhs.array)
+                if decl is None:
+                    problems.append(f"{where}: write to undeclared array {item.lhs.array!r}")
+                elif len(item.lhs.indices) != decl.ndim:
+                    problems.append(
+                        f"{where}: {item.lhs.array!r} has {decl.ndim} dims, "
+                        f"written with {len(item.lhs.indices)} indices"
+                    )
+                for i in item.lhs.indices:
+                    check_affine(i, scope, where)
+                for r in item.reads():
+                    if r.array == "__var__":
+                        check_affine(r.indices[0], scope, where)
+                        continue
+                    decl = program.arrays.get(r.array)
+                    if decl is None:
+                        problems.append(f"{where}: read of undeclared array {r.array!r}")
+                    elif len(r.indices) != decl.ndim:
+                        problems.append(
+                            f"{where}: {r.array!r} has {decl.ndim} dims, "
+                            f"read with {len(r.indices)} indices"
+                        )
+                    for i in r.indices:
+                        check_affine(i, scope, where)
+            elif isinstance(item, Loop):
+                where = f"loop {item.var!r}"
+                if item.var in scope:
+                    problems.append(f"{where}: shadows an outer loop variable")
+                if item.var in params:
+                    problems.append(f"{where}: loop variable shadows parameter")
+                check_affine(item.lower, scope, f"{where} lower bound")
+                check_affine(item.upper, scope, f"{where} upper bound")
+                walk(item.body, scope | {item.var}, where)
+
+    walk(program.body, set(), program.name)
+    if problems:
+        raise ValidationError(problems)

@@ -1,0 +1,65 @@
+"""Exact rational polyhedral machinery.
+
+This package is the mathematical substrate of the compiler:
+
+- :mod:`repro.polyhedra.linexpr` — affine expressions over named variables
+  with exact rational coefficients.
+- :mod:`repro.polyhedra.system` — systems of affine equalities/inequalities
+  (polyhedra), i.e. the paper's *dependence classes*
+  ``D (i_s, i_d)^T + d >= 0``.
+- :mod:`repro.polyhedra.fm` — Fourier–Motzkin elimination: feasibility,
+  projection, implied equalities, and rational sample points.
+- :mod:`repro.polyhedra.lex` — lexicographic non-negativity / positivity
+  tests for vectors of affine functions over a polyhedron (the legality
+  condition ``F_d(i_d) - F_s(i_s) ⪰ 0`` of paper Section 3.1).
+- :mod:`repro.polyhedra.farkas` — affine Farkas-lemma certificates, used to
+  characterize the space of legal embedding coefficients (paper Section 3.1
+  problem 2, following Feautrier).
+"""
+
+from repro.polyhedra.linexpr import LinExpr, var, const
+from repro.polyhedra.system import Constraint, System, GE, EQ, ge, le, eq, gt, lt
+from repro.polyhedra.fm import (
+    is_feasible,
+    project,
+    implied_equalities,
+    sample_point,
+    eliminate_variable,
+    bounds_of,
+    implies,
+)
+from repro.polyhedra.lex import (
+    lex_nonneg,
+    lex_positive,
+    can_be_first_positive,
+    first_positive_dims,
+)
+from repro.polyhedra.farkas import farkas_nonneg_system, farkas_certificate
+
+__all__ = [
+    "LinExpr",
+    "var",
+    "const",
+    "Constraint",
+    "System",
+    "GE",
+    "EQ",
+    "ge",
+    "le",
+    "eq",
+    "gt",
+    "lt",
+    "is_feasible",
+    "project",
+    "implied_equalities",
+    "sample_point",
+    "eliminate_variable",
+    "bounds_of",
+    "implies",
+    "lex_nonneg",
+    "lex_positive",
+    "can_be_first_positive",
+    "first_positive_dims",
+    "farkas_nonneg_system",
+    "farkas_certificate",
+]

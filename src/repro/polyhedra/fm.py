@@ -1,0 +1,230 @@
+"""Fourier–Motzkin elimination over exact rationals.
+
+Provides the decision procedures the compiler needs:
+
+- :func:`is_feasible` — emptiness test for a rational polyhedron.  Dependence
+  polyhedra contain only integer points with integer-coefficient constraints,
+  so rational *in*feasibility soundly proves integer infeasibility; rational
+  feasibility is treated conservatively by callers.
+- :func:`project` — project a system onto a subset of variables.
+- :func:`bounds_of` — exact (rational) lower/upper bounds of an affine
+  function over a polyhedron.
+- :func:`implied_equalities` — variable pairs forced equal everywhere in the
+  polyhedron (used to discover common-enumeration alignments from dependence
+  classes, paper Section 4.1).
+- :func:`sample_point` — a rational point inside a non-empty polyhedron
+  (used by the Farkas machinery to exhibit legal embedding coefficients).
+
+Systems in this compiler are small (≈5–15 variables, tens of constraints),
+so the classic doubly-exponential worst case never bites; we still substitute
+through equalities first and drop duplicate constraints to keep intermediate
+systems tight.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.polyhedra.linexpr import LinExpr
+from repro.polyhedra.system import Constraint, System, GE, EQ
+
+Inf = float  # only +/- inf sentinels
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+def _solve_equality_for(c: Constraint, v: str) -> LinExpr:
+    """Given equality ``expr == 0`` with a non-zero coefficient on ``v``,
+    return the affine expression equal to ``v``."""
+    a = c.expr.coeff(v)
+    if a == 0:
+        raise ValueError(f"constraint does not involve {v}")
+    rest = c.expr - LinExpr({v: a})
+    return rest * Fraction(-1, 1) * (Fraction(1) / a)
+
+
+def eliminate_variable(system: System, v: str) -> System:
+    """Project out variable ``v`` (exact rational projection)."""
+    # Prefer substitution through an equality: no constraint blowup.
+    for c in system.equalities():
+        if c.expr.coeff(v) != 0:
+            sol = _solve_equality_for(c, v)
+            return system.substitute({v: sol})
+    lowers: List[Constraint] = []
+    uppers: List[Constraint] = []
+    rest: List[Constraint] = []
+    for c in system:
+        a = c.expr.coeff(v)
+        if a == 0:
+            rest.append(c)
+        elif a > 0:
+            lowers.append(c)
+        else:
+            uppers.append(c)
+    out = list(rest)
+    for lo, up in itertools.product(lowers, uppers):
+        a_lo = lo.expr.coeff(v)       # > 0
+        a_up = up.expr.coeff(v)       # < 0
+        combined = lo.expr * (-a_up) + up.expr * a_lo
+        out.append(Constraint(combined, GE))
+    return System(out)
+
+
+def _elimination_order(system: System, keep: Sequence[str] = ()) -> List[str]:
+    """Variables to eliminate, cheapest (fewest lower*upper products) first."""
+    keep_set = set(keep)
+    candidates = [v for v in system.variables() if v not in keep_set]
+
+    def cost(v: str) -> Tuple[int, str]:
+        n_lo = n_up = n_eq = 0
+        for c in system:
+            a = c.expr.coeff(v)
+            if a == 0:
+                continue
+            if c.kind == EQ:
+                n_eq += 1
+            elif a > 0:
+                n_lo += 1
+            else:
+                n_up += 1
+        # equality substitution is free-ish; otherwise pair count
+        return ((0 if n_eq else n_lo * n_up), v)
+
+    return sorted(candidates, key=cost)
+
+
+def project(system: System, keep: Sequence[str]) -> System:
+    """Project the polyhedron onto the ``keep`` variables."""
+    cur = system
+    while True:
+        if cur.has_contradiction:
+            return cur
+        todo = _elimination_order(cur, keep)
+        if not todo:
+            return cur
+        cur = eliminate_variable(cur, todo[0])
+
+
+def is_feasible(system: System) -> bool:
+    """Rational feasibility by full elimination."""
+    cur = system
+    while True:
+        if cur.has_contradiction:
+            return False
+        remaining = cur.variables()
+        if not remaining:
+            return True
+        order = _elimination_order(cur)
+        cur = eliminate_variable(cur, order[0])
+
+
+def bounds_of(system: System, expr: LinExpr) -> Tuple[Union[Fraction, Inf], Union[Fraction, Inf]]:
+    """Exact (inf, sup) of ``expr`` over the rational polyhedron.
+
+    Returns (NEG_INF/POS_INF sentinels for unbounded directions).  If the
+    system is infeasible raises ValueError.
+    """
+    if not is_feasible(system):
+        raise ValueError("bounds_of on infeasible system")
+    t = "__bound_t__"
+    while t in system.variables() or expr.coeff(t) != 0:
+        t += "_"
+    sys_t = system.and_also(Constraint(LinExpr({t: 1}) - expr, EQ))
+    proj = project(sys_t, [t])
+    lo: Union[Fraction, Inf] = NEG_INF
+    hi: Union[Fraction, Inf] = POS_INF
+    for c in proj:
+        a = c.expr.coeff(t)
+        b = c.expr.const
+        if a == 0:
+            continue
+        if c.kind == EQ:
+            val = -b / a
+            lo = max(lo, val) if lo != NEG_INF else val
+            hi = min(hi, val) if hi != POS_INF else val
+        elif a > 0:          # a t + b >= 0 -> t >= -b/a
+            cand = -b / a
+            lo = cand if lo == NEG_INF else max(lo, cand)
+        else:                # t <= -b/a
+            cand = -b / a
+            hi = cand if hi == POS_INF else min(hi, cand)
+    return lo, hi
+
+
+def implies(system: System, constraint: Constraint) -> bool:
+    """Does the polyhedron imply the constraint (over the rationals)?"""
+    if not is_feasible(system):
+        return True
+    lo, hi = bounds_of(system, constraint.expr)
+    if constraint.kind == GE:
+        return lo != NEG_INF and lo >= 0
+    return lo == hi == 0
+
+
+def implied_equalities(system: System, candidates: Optional[Iterable[Tuple[str, str]]] = None
+                       ) -> List[Tuple[str, str]]:
+    """Pairs of variables (x, y) with x == y everywhere in the polyhedron."""
+    names = system.variables()
+    pairs = candidates if candidates is not None else itertools.combinations(names, 2)
+    out: List[Tuple[str, str]] = []
+    if not is_feasible(system):
+        return out
+    for x, y in pairs:
+        lo, hi = bounds_of(system, LinExpr({x: 1, y: -1}))
+        if lo == hi == 0:
+            out.append((x, y))
+    return out
+
+
+def sample_point(system: System) -> Optional[Dict[str, Fraction]]:
+    """A rational point satisfying the system, or None if infeasible.
+
+    Classic FM back-substitution: eliminate variables one at a time recording
+    the pre-elimination system; then assign values in reverse, picking a point
+    in the (guaranteed non-empty) interval each variable is confined to.
+    """
+    stack: List[Tuple[str, System]] = []
+    cur = system
+    while True:
+        if cur.has_contradiction:
+            return None
+        names = cur.variables()
+        if not names:
+            break
+        v = _elimination_order(cur)[0]
+        stack.append((v, cur))
+        cur = eliminate_variable(cur, v)
+    env: Dict[str, Fraction] = {}
+    for v, sys_v in reversed(stack):
+        lo: Union[Fraction, Inf] = NEG_INF
+        hi: Union[Fraction, Inf] = POS_INF
+        pinned: Optional[Fraction] = None
+        for c in sys_v:
+            a = c.expr.coeff(v)
+            if a == 0:
+                continue
+            rest = c.expr - LinExpr({v: a})
+            rv = rest.evaluate(env)
+            if c.kind == EQ:
+                pinned = -rv / a
+            elif a > 0:
+                cand = -rv / a
+                lo = cand if lo == NEG_INF else max(lo, cand)
+            else:
+                cand = -rv / a
+                hi = cand if hi == POS_INF else min(hi, cand)
+        if pinned is not None:
+            env[v] = pinned
+            continue
+        if lo == NEG_INF and hi == POS_INF:
+            env[v] = Fraction(0)
+        elif lo == NEG_INF:
+            env[v] = hi - 1
+        elif hi == POS_INF:
+            env[v] = lo + 1 if lo < 0 else lo
+        else:
+            env[v] = (lo + hi) / 2
+    # make sure unmentioned-but-requested variables exist
+    return env

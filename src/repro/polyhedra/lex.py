@@ -1,0 +1,79 @@
+"""Lexicographic order tests for vectors of affine functions over polyhedra.
+
+The legality condition of the paper (Section 3.1, problem 2) is that for
+every dependence class ``D`` with source instance ``i_s`` and destination
+``i_d``, the difference of the embeddings ``Δ = F_d(i_d) - F_s(i_s)`` must be
+lexicographically non-negative over all of ``D``.  The enumeration-direction
+rule (Section 4.1) needs the set of dimensions that *can* be the first
+strictly-positive component of ``Δ`` for some dependence pair.
+
+All deltas have integer coefficients and dependence polyhedra contain the
+integer points of interest, so ``Δ_k < 0`` is encoded as ``Δ_k <= -1`` and
+``Δ_k > 0`` as ``Δ_k >= 1``; rational feasibility is used conservatively
+(a rationally-feasible violation rejects the embedding even if no integer
+witness exists — sound, possibly over-strict).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from repro.polyhedra.fm import is_feasible
+from repro.polyhedra.linexpr import LinExpr
+from repro.polyhedra.system import Constraint, System, EQ, GE
+
+
+def lex_nonneg(poly: System, deltas: Sequence[LinExpr]) -> bool:
+    """True iff ``deltas ⪰ 0`` lexicographically at every point of ``poly``.
+
+    A violation exists iff for some k: Δ₁=…=Δₖ₋₁=0 and Δₖ ≤ −1 is feasible.
+    """
+    prefix = poly
+    if not is_feasible(prefix):
+        return True
+    for d in deltas:
+        if is_feasible(prefix.and_also(Constraint(-d - 1, GE))):
+            return False
+        prefix = prefix.and_also(Constraint(d, EQ))
+        if not is_feasible(prefix):
+            return True
+    return True
+
+
+def lex_positive(poly: System, deltas: Sequence[LinExpr]) -> bool:
+    """True iff ``deltas ≻ 0`` lexicographically at every point of ``poly``
+    (i.e. non-negative, and never all-zero)."""
+    if not lex_nonneg(poly, deltas):
+        return False
+    all_zero = poly
+    for d in deltas:
+        all_zero = all_zero.and_also(Constraint(d, EQ))
+    return not is_feasible(all_zero)
+
+
+def can_be_first_positive(poly: System, deltas: Sequence[LinExpr], k: int) -> bool:
+    """Can dimension ``k`` be the first strictly-positive component of the
+    delta vector for some dependence pair in ``poly``?"""
+    sys_k = poly
+    for d in deltas[:k]:
+        sys_k = sys_k.and_also(Constraint(d, EQ))
+    sys_k = sys_k.and_also(Constraint(deltas[k] - 1, GE))
+    return is_feasible(sys_k)
+
+
+def first_positive_dims(poly: System, deltas: Sequence[LinExpr]) -> Set[int]:
+    """All dimensions that can be the satisfying (first positive) dimension
+    for some pair in the dependence class.  Each such dimension must be
+    enumerated in increasing order (paper Section 4.1, Enumeration
+    Directions)."""
+    out: Set[int] = set()
+    prefix = poly
+    if not is_feasible(prefix):
+        return out
+    for k, d in enumerate(deltas):
+        if is_feasible(prefix.and_also(Constraint(d - 1, GE))):
+            out.add(k)
+        prefix = prefix.and_also(Constraint(d, EQ))
+        if not is_feasible(prefix):
+            break
+    return out

@@ -1,0 +1,163 @@
+"""Affine (linear + constant) expressions over named variables, exact.
+
+``LinExpr`` is an immutable mapping ``{var_name: Fraction}`` plus a rational
+constant.  Variable names are arbitrary strings; the IR uses qualified names
+like ``"S2.i"`` (iteration variable ``i`` of statement ``S2``) and
+``"S2.A.r"`` (row data axis of the reference to ``A`` in ``S2``) so that
+expressions from different statements can live in one system.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple, Union
+
+Coeffish = Union[int, Fraction]
+
+
+def _frac(x: Coeffish) -> Fraction:
+    if isinstance(x, Fraction):
+        return x
+    if isinstance(x, int):
+        return Fraction(x)
+    raise TypeError(f"affine coefficients must be int/Fraction, got {type(x).__name__}")
+
+
+class LinExpr:
+    """Immutable affine expression ``sum(coeffs[v] * v) + const``."""
+
+    __slots__ = ("coeffs", "const", "_hash")
+
+    def __init__(self, coeffs: Mapping[str, Coeffish] = (), const: Coeffish = 0):
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        cleaned: Dict[str, Fraction] = {}
+        for k, v in items:
+            fv = _frac(v)
+            if fv != 0:
+                cleaned[k] = fv
+        object.__setattr__(self, "coeffs", cleaned)
+        object.__setattr__(self, "const", _frac(const))
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, *a):  # immutability
+        raise AttributeError("LinExpr is immutable")
+
+    # -- constructors ----------------------------------------------------
+    @staticmethod
+    def variable(name: str) -> "LinExpr":
+        return LinExpr({name: 1})
+
+    @staticmethod
+    def constant(c: Coeffish) -> "LinExpr":
+        return LinExpr({}, c)
+
+    @staticmethod
+    def coerce(x: Union["LinExpr", int, Fraction, str]) -> "LinExpr":
+        if isinstance(x, LinExpr):
+            return x
+        if isinstance(x, (int, Fraction)):
+            return LinExpr.constant(x)
+        if isinstance(x, str):
+            return LinExpr.variable(x)
+        raise TypeError(f"cannot coerce {type(x).__name__} to LinExpr")
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.coeffs))
+
+    def coeff(self, name: str) -> Fraction:
+        return self.coeffs.get(name, Fraction(0))
+
+    def evaluate(self, env: Mapping[str, Coeffish]) -> Fraction:
+        total = self.const
+        for k, c in self.coeffs.items():
+            if k not in env:
+                raise KeyError(f"no value for variable {k!r}")
+            total += c * _frac(env[k])
+        return total
+
+    # -- algebra ----------------------------------------------------------
+    def __add__(self, other) -> "LinExpr":
+        other = LinExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        for k, v in other.coeffs.items():
+            coeffs[k] = coeffs.get(k, Fraction(0)) + v
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({k: -v for k, v in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-LinExpr.coerce(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr.coerce(other) - self
+
+    def __mul__(self, scalar: Coeffish) -> "LinExpr":
+        s = _frac(scalar)
+        return LinExpr({k: v * s for k, v in self.coeffs.items()}, self.const * s)
+
+    __rmul__ = __mul__
+
+    def substitute(self, bindings: Mapping[str, "LinExpr"]) -> "LinExpr":
+        """Replace variables with affine expressions."""
+        out = LinExpr.constant(self.const)
+        for k, c in self.coeffs.items():
+            if k in bindings:
+                out = out + LinExpr.coerce(bindings[k]) * c
+            else:
+                out = out + LinExpr({k: c})
+        return out
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinExpr":
+        return LinExpr({mapping.get(k, k): v for k, v in self.coeffs.items()}, self.const)
+
+    # -- protocol ----------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.coeffs == other.coeffs and self.const == other.const
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash((tuple(sorted(self.coeffs.items())), self.const))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __repr__(self) -> str:
+        parts = []
+        for k in sorted(self.coeffs):
+            c = self.coeffs[k]
+            if c == 1:
+                parts.append(f"+ {k}")
+            elif c == -1:
+                parts.append(f"- {k}")
+            elif c > 0:
+                parts.append(f"+ {c}*{k}")
+            else:
+                parts.append(f"- {-c}*{k}")
+        if self.const != 0 or not parts:
+            parts.append(f"+ {self.const}" if self.const >= 0 else f"- {-self.const}")
+        s = " ".join(parts)
+        return s[2:] if s.startswith("+ ") else ("-" + s[2:] if s.startswith("- ") else s)
+
+
+def var(name: str) -> LinExpr:
+    """Shorthand for a single-variable expression."""
+    return LinExpr.variable(name)
+
+
+def const(c: Coeffish) -> LinExpr:
+    """Shorthand for a constant expression."""
+    return LinExpr.constant(c)
+
+
+def zero() -> LinExpr:
+    return LinExpr.constant(0)

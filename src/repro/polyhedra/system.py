@@ -1,0 +1,194 @@
+"""Constraint systems (polyhedra) over named variables.
+
+A :class:`System` is a conjunction of constraints ``expr >= 0`` / ``expr == 0``
+with exact rational coefficients.  Dependence classes (paper Section 3,
+``D (i_s, i_d)^T + d >= 0``) are represented this way, as are the derived
+legality systems.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.polyhedra.linexpr import LinExpr
+
+GE = "GE"  # expr >= 0
+EQ = "EQ"  # expr == 0
+
+
+class Constraint:
+    """A single affine constraint ``expr (>=|==) 0``, kept in a normalized
+    form (integer coefficients with gcd 1) so that duplicates hash equal."""
+
+    __slots__ = ("expr", "kind")
+
+    def __init__(self, expr: LinExpr, kind: str = GE):
+        if kind not in (GE, EQ):
+            raise ValueError(f"constraint kind must be GE or EQ, got {kind!r}")
+        self.expr = _normalize(expr, kind)
+        self.kind = kind
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables()
+
+    @property
+    def is_trivial(self) -> bool:
+        """Constant constraint that always holds."""
+        if not self.expr.is_constant:
+            return False
+        if self.kind == GE:
+            return self.expr.const >= 0
+        return self.expr.const == 0
+
+    @property
+    def is_contradiction(self) -> bool:
+        if not self.expr.is_constant:
+            return False
+        if self.kind == GE:
+            return self.expr.const < 0
+        return self.expr.const != 0
+
+    def satisfied_by(self, env: Mapping[str, Fraction]) -> bool:
+        v = self.expr.evaluate(env)
+        return v >= 0 if self.kind == GE else v == 0
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.kind)
+
+    def substitute(self, bindings: Mapping[str, LinExpr]) -> "Constraint":
+        return Constraint(self.expr.substitute(bindings), self.kind)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and self.kind == other.kind
+            and self.expr == other.expr
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.expr))
+
+    def __repr__(self) -> str:
+        op = ">=" if self.kind == GE else "=="
+        return f"{self.expr!r} {op} 0"
+
+
+def _normalize(expr: LinExpr, kind: str) -> LinExpr:
+    """Scale so all coefficients are integers with gcd 1.  For EQ also fix
+    the sign of the leading coefficient, making x==0 and -x==0 identical."""
+    denoms = [c.denominator for c in expr.coeffs.values()] + [expr.const.denominator]
+    lcm = 1
+    for d in denoms:
+        g = _gcd(lcm, d)
+        lcm = lcm // g * d
+    scaled = expr * lcm
+    numers = [abs(c.numerator) for c in scaled.coeffs.values()] + [abs(scaled.const.numerator)]
+    numers = [n for n in numers if n]
+    if numers:
+        g = numers[0]
+        for n in numers[1:]:
+            g = _gcd(g, n)
+        if g > 1:
+            scaled = scaled * Fraction(1, g)
+    if kind == EQ and scaled.coeffs:
+        lead = scaled.coeffs[min(scaled.coeffs)]
+        if lead < 0:
+            scaled = scaled * -1
+    return scaled
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a if a else 1
+
+
+class System:
+    """A conjunction of constraints; the polyhedron they define."""
+
+    def __init__(self, constraints: Iterable[Constraint] = ()):  # noqa: D401
+        self.constraints: List[Constraint] = []
+        seen: Set[Constraint] = set()
+        for c in constraints:
+            if c.is_trivial:
+                continue
+            if c not in seen:
+                seen.add(c)
+                self.constraints.append(c)
+
+    # -- construction helpers --------------------------------------------
+    @staticmethod
+    def of(*constraints: Constraint) -> "System":
+        return System(constraints)
+
+    def and_also(self, *constraints: Constraint) -> "System":
+        return System(self.constraints + list(constraints))
+
+    def conjoin(self, other: "System") -> "System":
+        return System(self.constraints + other.constraints)
+
+    # -- queries ------------------------------------------------------------
+    def variables(self) -> Tuple[str, ...]:
+        names: Set[str] = set()
+        for c in self.constraints:
+            names.update(c.variables())
+        return tuple(sorted(names))
+
+    @property
+    def has_contradiction(self) -> bool:
+        return any(c.is_contradiction for c in self.constraints)
+
+    def satisfied_by(self, env: Mapping[str, Fraction]) -> bool:
+        return all(c.satisfied_by(env) for c in self.constraints)
+
+    def rename(self, mapping: Mapping[str, str]) -> "System":
+        return System(c.rename(mapping) for c in self.constraints)
+
+    def substitute(self, bindings: Mapping[str, LinExpr]) -> "System":
+        return System(c.substitute(bindings) for c in self.constraints)
+
+    def equalities(self) -> List[Constraint]:
+        return [c for c in self.constraints if c.kind == EQ]
+
+    def inequalities(self) -> List[Constraint]:
+        return [c for c in self.constraints if c.kind == GE]
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __repr__(self) -> str:
+        if not self.constraints:
+            return "System{ true }"
+        body = ", ".join(repr(c) for c in self.constraints)
+        return f"System{{ {body} }}"
+
+
+# -- convenience constraint builders ---------------------------------------
+
+def ge(lhs, rhs) -> Constraint:
+    """lhs >= rhs."""
+    return Constraint(LinExpr.coerce(lhs) - LinExpr.coerce(rhs), GE)
+
+
+def le(lhs, rhs) -> Constraint:
+    """lhs <= rhs."""
+    return Constraint(LinExpr.coerce(rhs) - LinExpr.coerce(lhs), GE)
+
+
+def eq(lhs, rhs) -> Constraint:
+    """lhs == rhs."""
+    return Constraint(LinExpr.coerce(lhs) - LinExpr.coerce(rhs), EQ)
+
+
+def gt(lhs, rhs) -> Constraint:
+    """lhs >= rhs + 1 (strict, for integer points)."""
+    return Constraint(LinExpr.coerce(lhs) - LinExpr.coerce(rhs) - 1, GE)
+
+
+def lt(lhs, rhs) -> Constraint:
+    """lhs <= rhs - 1 (strict, for integer points)."""
+    return Constraint(LinExpr.coerce(rhs) - LinExpr.coerce(lhs) - 1, GE)

@@ -1,0 +1,22 @@
+"""Search over candidate product spaces and embeddings (paper Sections
+4.2-4.3)."""
+
+from repro.search.candidates import Candidate, generate_candidates
+from repro.search.driver import SearchResult, SearchStats, search, copy_var_bounds
+from repro.search.format_select import (
+    FormatChoice,
+    SelectionResult,
+    select_format,
+)
+
+__all__ = [
+    "Candidate",
+    "generate_candidates",
+    "SearchResult",
+    "SearchStats",
+    "search",
+    "copy_var_bounds",
+    "FormatChoice",
+    "SelectionResult",
+    "select_format",
+]

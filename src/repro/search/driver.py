@@ -1,0 +1,107 @@
+"""Search driver: generate candidates, filter by legality, lower to plans,
+rank by estimated cost, keep the best (paper Section 4.2's
+enumerate-estimate-select, with the Section 4.3 heuristics inside the
+generator)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.dependence import DependenceClass, dependences
+from repro.core.embedding import analyze_order
+from repro.core.plan import Plan, PlanError, build_plan
+from repro.core.spaces import StmtCopy
+from repro.cost.model import plan_cost
+from repro.formats.base import SparseFormat
+from repro.ir.program import Program
+from repro.polyhedra.linexpr import LinExpr
+from repro.search.candidates import Candidate, generate_candidates
+
+
+class SearchStats:
+    """Bookkeeping the benchmarks report (search-space table)."""
+
+    def __init__(self):
+        self.generated = 0
+        self.legal = 0
+        self.lowered = 0
+        self.costs: List[float] = []
+
+    def __repr__(self):
+        return (f"SearchStats(generated={self.generated}, legal={self.legal}, "
+                f"lowered={self.lowered})")
+
+
+class SearchResult:
+    def __init__(self, plan: Plan, cost: float, candidate: Candidate,
+                 stats: SearchStats, ranked: List[Tuple[float, Candidate, Plan]]):
+        self.plan = plan
+        self.cost = cost
+        self.candidate = candidate
+        self.stats = stats
+        self.ranked = ranked  # every lowered plan, best first
+
+
+def copy_var_bounds(copies: Sequence[StmtCopy]) -> Dict[str, Tuple[LinExpr, LinExpr]]:
+    """Loop bounds of every copy-qualified iteration variable, as
+    expressions over outer qualified variables and parameters."""
+    out: Dict[str, Tuple[LinExpr, LinExpr]] = {}
+    for copy in copies:
+        qmap = copy.qual_map()
+        for loop in copy.ctx.loops:
+            lo = loop.lower.rename(qmap).lin
+            hi = loop.upper.rename(qmap).lin
+            out[copy.qual(loop.var)] = (lo, hi)
+    return out
+
+
+def search(
+    program: Program,
+    bindings: Mapping[str, SparseFormat],
+    deps: Optional[Sequence[DependenceClass]] = None,
+    param_values: Optional[Mapping[str, int]] = None,
+    pick: str = "best",
+    max_orders: int = 12,
+) -> SearchResult:
+    """Find a plan for the program under the given format bindings.
+
+    ``pick`` selects the returned plan: "best" (lowest estimated cost),
+    "worst" (highest — the cost-model ablation), or "first" (first legal,
+    ignoring the cost model).
+    """
+    if deps is None:
+        deps = dependences(program)
+    stats = SearchStats()
+    lowered: List[Tuple[float, Candidate, Plan]] = []
+    pair_cache: Dict = {}
+
+    for cand in generate_candidates(program, bindings, deps, max_orders=max_orders):
+        stats.generated += 1
+        order = analyze_order(cand.emb, deps, pair_cache=pair_cache)
+        if not order.legal:
+            continue
+        stats.legal += 1
+        bounds = copy_var_bounds(cand.space.copies)
+        try:
+            plan = build_plan(cand.space, cand.emb, order, bounds,
+                              dict(param_values or {}))
+        except PlanError:
+            continue
+        stats.lowered += 1
+        cost = plan_cost(plan, param_values)
+        stats.costs.append(cost)
+        lowered.append((cost, cand, plan))
+        if pick == "first":
+            break
+
+    if not lowered:
+        raise PlanError(
+            f"no legal plan found for {program.name} with bindings "
+            f"{ {k: v.format_name for k, v in bindings.items()} }"
+        )
+    lowered.sort(key=lambda t: t[0])
+    if pick == "worst":
+        cost, cand, plan = lowered[-1]
+    else:
+        cost, cand, plan = lowered[0]
+    return SearchResult(plan, cost, cand, stats, lowered)

@@ -1,0 +1,140 @@
+"""Automatic sparse-format selection — the paper's Section 6 extension.
+
+The paper sketches two routes:
+
+1. "make the compiler responsible for making this selection using cost
+   estimation rules like the ones described in Section 4" — the ``model``
+   mode: compile the kernel for every candidate format and rank by the
+   Figure 11 cost estimate;
+2. "an empirical optimization approach similar to that used in the ATLAS
+   system — the system generates code for a variety of promising formats,
+   and determines experimentally which one gives the best performance" —
+   the ``empirical`` mode: run each generated kernel on a caller-supplied
+   workload and rank by measured time.
+
+Both return every candidate (formats with no legal plan are reported, not
+hidden), ranked best first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.core.plan import PlanError
+from repro.formats.base import SparseFormat
+from repro.formats.convert import FORMATS, convert
+from repro.ir.program import Program
+from repro.util.timing import best_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.compiler import CompiledKernel
+
+DEFAULT_CANDIDATES = ("csr", "csc", "coo", "dia", "ell", "jad", "msr")
+
+
+class FormatChoice:
+    """One candidate's outcome."""
+
+    __slots__ = ("format_name", "kernel", "score", "error")
+
+    def __init__(self, format_name: str, kernel,
+                 score: Optional[float], error: Optional[str] = None):
+        self.format_name = format_name
+        self.kernel = kernel
+        self.score = score
+        self.error = error
+
+    @property
+    def ok(self) -> bool:
+        return self.kernel is not None
+
+    def __repr__(self):
+        if not self.ok:
+            return f"<{self.format_name}: no plan ({self.error})>"
+        return f"<{self.format_name}: score={self.score:.4g}>"
+
+
+class SelectionResult:
+    """Ranked outcomes; ``best`` is the winning (format name, instance,
+    kernel) triple."""
+
+    def __init__(self, choices: List[FormatChoice],
+                 instances: Dict[str, SparseFormat], mode: str):
+        ok = [c for c in choices if c.ok]
+        failed = [c for c in choices if not c.ok]
+        ok.sort(key=lambda c: c.score)
+        self.choices = ok + failed
+        self.instances = instances
+        self.mode = mode
+        if not ok:
+            raise PlanError("no candidate format admits a legal plan")
+
+    @property
+    def best(self) -> Tuple[str, SparseFormat, "CompiledKernel"]:
+        c = self.choices[0]
+        return c.format_name, self.instances[c.format_name], c.kernel
+
+    def table(self) -> str:
+        lines = [f"format selection ({self.mode}):"]
+        unit = "estimated cost" if self.mode == "model" else "seconds"
+        for c in self.choices:
+            if c.ok:
+                lines.append(f"  {c.format_name:6s} {c.score:14.4g}  ({unit})")
+            else:
+                lines.append(f"  {c.format_name:6s} {'no legal plan':>14s}")
+        return "\n".join(lines)
+
+
+def select_format(
+    program: Program,
+    array_name: str,
+    matrix,
+    candidates: Sequence[str] = DEFAULT_CANDIDATES,
+    mode: str = "model",
+    workload: Optional[Callable[[SparseFormat], Tuple[Mapping, Mapping]]] = None,
+    repeats: int = 3,
+    **convert_kwargs,
+) -> SelectionResult:
+    """Choose the best storage format for ``matrix`` under ``program``.
+
+    ``matrix`` is any format instance (or convertible input); each
+    candidate format gets the converted matrix, a compiled kernel, and a
+    score.  ``mode="model"`` scores by the compiler's cost estimate;
+    ``mode="empirical"`` requires ``workload(fmt) -> (arrays, params)`` and
+    scores by the best-of-``repeats`` measured time of the generated
+    kernel.
+    """
+    if mode not in ("model", "empirical"):
+        raise ValueError(f"mode must be 'model' or 'empirical', got {mode!r}")
+    if mode == "empirical" and workload is None:
+        raise ValueError("empirical mode requires a workload callable")
+
+    from repro.core.compiler import compile_kernel
+
+    from repro.formats.coo import CooMatrix
+
+    if not isinstance(matrix, SparseFormat):
+        matrix = CooMatrix.from_dense(matrix)
+
+    choices: List[FormatChoice] = []
+    instances: Dict[str, SparseFormat] = {}
+    for name in candidates:
+        inst = convert(matrix, name, **convert_kwargs) \
+            if name == "bsr" else convert(matrix, name)
+        instances[name] = inst
+        try:
+            kernel = compile_kernel(program, {array_name: inst})
+        except PlanError as e:
+            choices.append(FormatChoice(name, None, None, str(e)))
+            continue
+        if mode == "model":
+            score = kernel.cost
+        else:
+            arrays, params = workload(inst)
+            fn = kernel.callable()
+            score = best_of(lambda: fn(dict(arrays), dict(params)),
+                            repeats=repeats)
+        choices.append(FormatChoice(name, kernel, float(score)))
+    return SelectionResult(choices, instances, mode)

@@ -1,0 +1,77 @@
+"""BiCGSTAB for non-symmetric systems (van der Vorst 1992) — a second
+Krylov method over the same BLAS interface, rounding out the
+format-independent solver layer."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.api import mvm
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def bicgstab(
+    A,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+    matvec: Optional[MatVec] = None,
+    precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> Tuple[np.ndarray, int, float]:
+    """Solve ``A x = b``; returns (x, iterations, final residual norm)."""
+    if matvec is None:
+        matvec = lambda v: mvm(A, v)  # noqa: E731
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    if max_iter is None:
+        max_iter = 10 * n
+    M = precond if precond is not None else (lambda v: v)
+
+    r = b - matvec(x)
+    r_hat = r.copy()
+    rho = alpha = omega = 1.0
+    v = np.zeros(n)
+    p = np.zeros(n)
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    it = 0
+    res = float(np.linalg.norm(r))
+    while it < max_iter and res > tol * bnorm:
+        rho_new = float(r_hat @ r)
+        if rho_new == 0.0:
+            break  # breakdown: restart would be needed
+        if it == 0:
+            p = r.copy()
+        else:
+            beta = (rho_new / rho) * (alpha / omega)
+            p = r + beta * (p - omega * v)
+        rho = rho_new
+        p_hat = M(p)
+        v = matvec(p_hat)
+        denom = float(r_hat @ v)
+        if denom == 0.0:
+            break
+        alpha = rho / denom
+        s = r - alpha * v
+        if float(np.linalg.norm(s)) <= tol * bnorm:
+            x = x + alpha * p_hat
+            r = s
+            res = float(np.linalg.norm(r))
+            it += 1
+            break
+        s_hat = M(s)
+        t = matvec(s_hat)
+        tt = float(t @ t)
+        if tt == 0.0:
+            break
+        omega = float(t @ s) / tt
+        x = x + alpha * p_hat + omega * s_hat
+        r = s - omega * t
+        res = float(np.linalg.norm(r))
+        it += 1
+        if omega == 0.0:
+            break
+    return x, it, res

@@ -1,0 +1,73 @@
+"""Conjugate gradients on sparse formats.
+
+Written once against a matrix-vector-product callable: the PETSc-style
+format-independent iterative method of the paper's introduction.  The
+``matvec`` argument defaults to the BLAS dispatch, but a compiled kernel
+from :func:`repro.core.compile_kernel` slots in directly (see
+``examples/fem_cg.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.blas.api import mvm
+from repro.formats.base import SparseFormat
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def _default_matvec(A: SparseFormat) -> MatVec:
+    def mv(x: np.ndarray) -> np.ndarray:
+        return mvm(A, x)
+
+    return mv
+
+
+def cg(
+    A,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iter: Optional[int] = None,
+    matvec: Optional[MatVec] = None,
+    precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> Tuple[np.ndarray, int, float]:
+    """Solve ``A x = b`` for symmetric positive-definite ``A``.
+
+    Returns ``(x, iterations, final_residual_norm)``.  ``A`` may be a
+    format instance (default BLAS matvec) or anything if ``matvec`` is
+    given explicitly.
+    """
+    if matvec is None:
+        matvec = _default_matvec(A)
+    n = b.shape[0]
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    r = b - matvec(x)
+    z = precond(r) if precond else r
+    p = z.copy()
+    rz = float(r @ z)
+    if max_iter is None:
+        max_iter = 10 * n
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    it = 0
+    while it < max_iter:
+        rnorm = float(np.linalg.norm(r))
+        if rnorm <= tol * bnorm:
+            break
+        Ap = matvec(p)
+        denom = float(p @ Ap)
+        if denom == 0.0:
+            break
+        alpha = rz / denom
+        x += alpha * p
+        r -= alpha * Ap
+        z = precond(r) if precond else r
+        rz_new = float(r @ z)
+        beta = rz_new / rz if rz != 0 else 0.0
+        rz = rz_new
+        p = z + beta * p
+        it += 1
+    return x, it, float(np.linalg.norm(r))

@@ -1,0 +1,39 @@
+"""Jacobi iteration: x_{k+1} = D^{-1} (b - (A - D) x_k)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.blas.api import mvm
+from repro.formats.base import SparseFormat
+
+
+def jacobi(
+    A: SparseFormat,
+    b: np.ndarray,
+    x0: Optional[np.ndarray] = None,
+    tol: float = 1e-10,
+    max_iter: int = 1000,
+) -> Tuple[np.ndarray, int, float]:
+    """Solve ``A x = b`` by Jacobi sweeps (requires non-zero diagonal and
+    convergence conditions such as diagonal dominance).  Returns
+    ``(x, iterations, final_residual_norm)``."""
+    n = A.nrows
+    diag = np.array([A.get(i, i) for i in range(n)])
+    if np.any(diag == 0.0):
+        raise ValueError("Jacobi requires a non-zero diagonal")
+    x = np.zeros(n) if x0 is None else x0.astype(float).copy()
+    bnorm = float(np.linalg.norm(b)) or 1.0
+    it = 0
+    res = float("inf")
+    while it < max_iter:
+        Ax = mvm(A, x)
+        r = b - Ax
+        res = float(np.linalg.norm(r))
+        if res <= tol * bnorm:
+            break
+        x = x + r / diag
+        it += 1
+    return x, it, res

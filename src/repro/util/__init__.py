@@ -1,0 +1,26 @@
+"""Small shared utilities: exact linear algebra over rationals, validation,
+deterministic ordering helpers, and timing.
+
+These are deliberately dependency-light; the polyhedral machinery in
+:mod:`repro.polyhedra` builds on :mod:`repro.util.fractions_linalg`.
+"""
+
+from repro.util.fractions_linalg import (
+    FractionMatrix,
+    rank,
+    row_reduce,
+    solve_exact,
+    nullspace,
+)
+from repro.util.validation import check, require_type, require_positive
+
+__all__ = [
+    "FractionMatrix",
+    "rank",
+    "row_reduce",
+    "solve_exact",
+    "nullspace",
+    "check",
+    "require_type",
+    "require_positive",
+]

@@ -1,0 +1,65 @@
+"""Deterministic ordering helpers.
+
+The search enumerates combinatorial spaces; stable, deterministic iteration
+order keeps compilations reproducible across runs (important both for tests
+and for comparing costs between candidates).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def lex_compare(a: Sequence, b: Sequence) -> int:
+    """Lexicographic three-way compare: -1, 0, +1."""
+    for x, y in zip(a, b):
+        if x < y:
+            return -1
+        if x > y:
+            return 1
+    if len(a) < len(b):
+        return -1
+    if len(a) > len(b):
+        return 1
+    return 0
+
+
+def interleavings(groups: Sequence[Sequence[T]]) -> Iterator[Tuple[T, ...]]:
+    """All interleavings of the given sequences that preserve each sequence's
+    internal order (used to enumerate dimension orders respecting per-format
+    nesting constraints, paper Section 4.3)."""
+    groups = [list(g) for g in groups if g]
+    if not groups:
+        yield ()
+        return
+    total = sum(len(g) for g in groups)
+    # choose, for each position, which group supplies the next element
+    indices = list(range(len(groups)))
+    pattern_pool = []
+    for gi, g in enumerate(groups):
+        pattern_pool.extend([gi] * len(g))
+    seen = set()
+    for pattern in itertools.permutations(pattern_pool, total):
+        if pattern in seen:
+            continue
+        seen.add(pattern)
+        cursors = [0] * len(groups)
+        out: List[T] = []
+        for gi in pattern:
+            out.append(groups[gi][cursors[gi]])
+            cursors[gi] += 1
+        yield tuple(out)
+
+
+def stable_unique(items: Iterable[T]) -> List[T]:
+    """Order-preserving dedup for hashable items."""
+    seen = set()
+    out: List[T] = []
+    for x in items:
+        if x not in seen:
+            seen.add(x)
+            out.append(x)
+    return out

@@ -1,0 +1,49 @@
+"""Lightweight timing helpers for the benchmark harness and examples.
+
+pytest-benchmark drives the real measurements; this module provides the
+repeat-and-take-best pattern used by the example scripts, following the
+"no optimization without measuring" workflow from the scientific-Python
+optimization guide.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+
+def best_of(fn: Callable[[], object], repeats: int = 5, min_time: float = 0.01) -> float:
+    """Return the best wall-clock time (seconds) of ``repeats`` runs of
+    ``fn``, auto-batching very fast calls so each sample lasts at least
+    ``min_time`` seconds."""
+    # calibrate batch size
+    batch = 1
+    while True:
+        t0 = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        dt = time.perf_counter() - t0
+        if dt >= min_time or batch >= 1 << 20:
+            break
+        batch *= 2
+    best = dt / batch
+    for _ in range(repeats - 1):
+        t0 = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        dt = (time.perf_counter() - t0) / batch
+        best = min(best, dt)
+    return best
+
+
+def mflops(flops: int, seconds: float) -> float:
+    """MFLOPS given a flop count and a time."""
+    if seconds <= 0:
+        return float("inf")
+    return flops / seconds / 1e6
+
+
+def time_and_rate(fn: Callable[[], object], flops: int, repeats: int = 5) -> Tuple[float, float]:
+    """(seconds, MFLOPS) for ``fn``."""
+    sec = best_of(fn, repeats=repeats)
+    return sec, mflops(flops, sec)

@@ -1,0 +1,30 @@
+"""Tiny validation helpers used across the package for argument checking.
+
+These raise early with readable messages instead of letting bad inputs
+propagate into the exact-arithmetic core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check(cond: bool, message: str, exc: Type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``cond`` holds."""
+    if not cond:
+        raise exc(message)
+
+
+def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
+    """Type-check ``value``; return it for chaining."""
+    if not isinstance(value, types):
+        tn = types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be {tn}, got {type(value).__name__}")
+    return value
+
+
+def require_positive(value: int, name: str) -> int:
+    """Require a positive integer."""
+    require_type(value, int, name)
+    check(value > 0, f"{name} must be positive, got {value}")
+    return value

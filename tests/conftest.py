@@ -1,0 +1,60 @@
+"""Shared fixtures: compiled-kernel cache (compilation is the expensive
+part; tests share kernels per (kernel, format) pair) and standard matrices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import compile_kernel
+from repro.formats import as_format
+from repro.formats.generate import (
+    lower_triangular_of,
+    random_sparse,
+    upper_triangular_of,
+)
+from repro.ir.kernels import ALL_KERNELS
+
+_KERNEL_CACHE = {}
+
+
+def compile_cached(kernel_name: str, fmt_name: str, matrix, array_name: str,
+                   **kwargs):
+    """Compile (kernel, format) once per test session; the format instance
+    is rebuilt per call (kernels are instance-independent for same-format
+    matrices of compatible shape)."""
+    key = (kernel_name, fmt_name, matrix.shape, kwargs.get("pick", "best"))
+    if key not in _KERNEL_CACHE:
+        prog = ALL_KERNELS[kernel_name]()
+        _KERNEL_CACHE[key] = compile_kernel(prog, {array_name: matrix},
+                                            **kwargs)
+    return _KERNEL_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20260705)
+
+
+@pytest.fixture(scope="session")
+def small_rect():
+    """6x8 random sparse matrix with an empty row (totality edge case)."""
+    a = random_sparse(6, 8, density=0.3, seed=11).to_dense()
+    a[3, :] = 0.0
+    return a
+
+
+@pytest.fixture(scope="session")
+def small_square():
+    return random_sparse(7, 7, density=0.3, seed=5).to_dense()
+
+
+@pytest.fixture(scope="session")
+def lower_tri():
+    """8x8 lower-triangular matrix with full diagonal, annotated."""
+    return lower_triangular_of(random_sparse(8, 8, 0.3, seed=3))
+
+
+@pytest.fixture(scope="session")
+def upper_tri():
+    return upper_triangular_of(random_sparse(8, 8, 0.3, seed=4))

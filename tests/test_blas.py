@@ -1,0 +1,147 @@
+"""Baseline BLAS layers: specialized (NIST-C analog), generic
+(NIST-Fortran analog), and the dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.blas import dense_ref, generic_, specialized
+from repro.blas.api import mvm, mvm_t, ts_lower_solve, ts_upper_solve
+from repro.formats import as_format
+from repro.formats.generate import (
+    lower_triangular_of,
+    random_sparse,
+    upper_triangular_of,
+)
+
+ALL = ["csr", "csc", "coo", "dia", "ell", "jad", "bsr", "msr"]
+
+
+@pytest.fixture(scope="module")
+def dense_a():
+    return random_sparse(7, 9, 0.35, seed=21).to_dense()
+
+
+@pytest.fixture(scope="module")
+def lower():
+    return lower_triangular_of(random_sparse(9, 9, 0.3, seed=22))
+
+
+@pytest.fixture(scope="module")
+def upper():
+    return upper_triangular_of(random_sparse(9, 9, 0.3, seed=23))
+
+
+class TestSpecializedMvm:
+    @pytest.mark.parametrize("fmt", sorted(set(specialized.MVM) - {"sym"}))
+    def test_matches_oracle(self, fmt, dense_a, rng):
+        # sym needs a square symmetric input; covered in test_sym_format
+        # BSR needs divisible dims: pad to 8x10
+        a = np.zeros((8, 10))
+        a[:7, :9] = dense_a
+        kwargs = {"block_size": 2} if fmt == "bsr" else {}
+        f = as_format(a, fmt, **kwargs)
+        x = rng.random(10)
+        y = np.zeros(8)
+        specialized.MVM[fmt](f, x, y)
+        assert np.allclose(y, f.to_dense() @ x)
+
+    @pytest.mark.parametrize("fmt", sorted(specialized.MVM_T))
+    def test_transposed(self, fmt, dense_a, rng):
+        f = as_format(dense_a, fmt)
+        x = rng.random(7)
+        y = np.zeros(9)
+        specialized.MVM_T[fmt](f, x, y)
+        assert np.allclose(y, dense_a.T @ x)
+
+
+class TestSpecializedTs:
+    @pytest.mark.parametrize("fmt", sorted(specialized.TS_LOWER))
+    def test_lower(self, fmt, lower, rng):
+        f = as_format(lower, fmt)
+        b = rng.random(9)
+        x = specialized.TS_LOWER[fmt](f, b.copy())
+        assert np.allclose(lower.to_dense() @ x, b, atol=1e-9)
+
+    @pytest.mark.parametrize("fmt", sorted(specialized.TS_UPPER))
+    def test_upper(self, fmt, upper, rng):
+        f = as_format(upper, fmt)
+        b = rng.random(9)
+        x = specialized.TS_UPPER[fmt](f, b.copy())
+        assert np.allclose(upper.to_dense() @ x, b, atol=1e-9)
+
+
+class TestGeneric:
+    @pytest.mark.parametrize("fmt", ALL)
+    def test_iter_nonzeros_covers_matrix(self, fmt, dense_a):
+        a = np.zeros((8, 10))
+        a[:7, :9] = dense_a
+        kwargs = {"block_size": 2} if fmt == "bsr" else {}
+        f = as_format(a, fmt, **kwargs)
+        recon = np.zeros_like(a)
+        for r, c, v in generic_.iter_nonzeros(f):
+            recon[r, c] += v
+        assert np.allclose(recon, f.to_dense())
+
+    @pytest.mark.parametrize("fmt", ALL)
+    def test_generic_mvm(self, fmt, dense_a, rng):
+        a = np.zeros((8, 10))
+        a[:7, :9] = dense_a
+        kwargs = {"block_size": 2} if fmt == "bsr" else {}
+        f = as_format(a, fmt, **kwargs)
+        x = rng.random(10)
+        y = np.zeros(8)
+        generic_.mvm(f, x, y)
+        assert np.allclose(y, f.to_dense() @ x)
+
+    @pytest.mark.parametrize("fmt", ["csr", "coo", "jad", "dia"])
+    def test_generic_ts_variants(self, fmt, lower, rng):
+        f = as_format(lower, fmt)
+        b = rng.random(9)
+        x1 = generic_.ts_lower(f, b.copy())
+        x2 = generic_.ts_lower_enum(f, b.copy())
+        assert np.allclose(lower.to_dense() @ x1, b, atol=1e-9)
+        assert np.allclose(x1, x2, atol=1e-10)
+
+    def test_generic_ts_upper(self, upper, rng):
+        f = as_format(upper, "csr")
+        b = rng.random(9)
+        x = generic_.ts_upper(f, b.copy())
+        assert np.allclose(upper.to_dense() @ x, b, atol=1e-9)
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("fmt", ALL)
+    def test_mvm_dispatch(self, fmt, dense_a, rng):
+        a = np.zeros((8, 10))
+        a[:7, :9] = dense_a
+        kwargs = {"block_size": 2} if fmt == "bsr" else {}
+        f = as_format(a, fmt, **kwargs)
+        x = rng.random(10)
+        assert np.allclose(mvm(f, x), f.to_dense() @ x)
+
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "jad", "msr", "coo", "ell"])
+    def test_ts_dispatch(self, fmt, lower, rng):
+        f = as_format(lower, fmt)
+        b = rng.random(9)
+        x = ts_lower_solve(f, b)
+        assert np.allclose(lower.to_dense() @ x, b, atol=1e-9)
+        # the input must not be modified unless in_place
+        x2 = ts_lower_solve(f, b, in_place=True)
+        assert x2 is b
+
+    def test_mvm_t_dispatch(self, dense_a, rng):
+        f = as_format(dense_a, "dia")
+        x = rng.random(7)
+        assert np.allclose(mvm_t(f, x), dense_a.T @ x)
+
+    def test_ts_upper_dispatch(self, upper, rng):
+        f = as_format(upper, "jad")
+        b = rng.random(9)
+        x = ts_upper_solve(f, b)
+        assert np.allclose(upper.to_dense() @ x, b, atol=1e-9)
+
+
+class TestFlops:
+    def test_counts(self):
+        assert dense_ref.flops_mvm(100) == 200
+        assert dense_ref.flops_ts(100, 10) == 190

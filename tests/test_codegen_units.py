@@ -1,0 +1,148 @@
+"""Unit tests for the code-generation internals: expression rendering,
+per-format emitters, and the C-like renderer's expression coverage."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.codegen.csource import _CRenderer, python_to_c_like
+from repro.codegen.emitters import SourceWriter, make_emitter
+from repro.codegen.pysource import guard_str, render_pv
+from repro.core.spaces import build_copies
+from repro.formats import as_format
+from repro.ir.kernels import mvm
+from repro.polyhedra.linexpr import LinExpr
+
+
+class TestRenderPv:
+    def test_constant(self):
+        assert render_pv(LinExpr({}, 5)) == "5"
+        assert render_pv(LinExpr({}, 0)) == "0"
+        assert render_pv(LinExpr({}, -3)) == "-3"
+
+    def test_single_var(self):
+        assert render_pv(LinExpr({"x": 1})) == "x"
+        assert render_pv(LinExpr({"x": -1})) == "-x"
+        assert render_pv(LinExpr({"x": 2})) == "2*x"
+
+    def test_combination(self):
+        s = render_pv(LinExpr({"a": 1, "b": -2}, 3))
+        assert s == "a - 2*b + 3"
+
+    def test_fractional_becomes_floordiv(self):
+        s = render_pv(LinExpr({"x": Fraction(1, 2)}))
+        assert s == "(x) // 2"
+        # evaluates exactly when divisible
+        assert eval(s, {"x": 6}) == 3
+
+    def test_guard_str_scales(self):
+        g = guard_str(LinExpr({"x": Fraction(1, 3)}, Fraction(-2, 3)), ">=")
+        assert g == "x - 2 >= 0"
+
+    def test_guard_str_eq(self):
+        g = guard_str(LinExpr({"x": 1, "y": -1}), "==")
+        assert g == "x - y == 0"
+
+
+class TestSourceWriter:
+    def test_indent_and_fresh(self):
+        w = SourceWriter()
+        w.emit("a = 1")
+        w.push()
+        w.emit("b = 2")
+        w.pop()
+        assert w.text() == "a = 1\n    b = 2"
+        assert w.fresh("x") != w.fresh("x")
+
+
+def _ref_for(fmt):
+    copies = build_copies(mvm(), {"A": fmt}, {})
+    for c in copies:
+        if c.refs:
+            return c.refs[0]
+    raise AssertionError("no ref")
+
+
+class TestEmitters:
+    @pytest.mark.parametrize("fmt_name", ["csr", "csc", "coo", "dense",
+                                          "ell", "dia", "jad", "bsr"])
+    def test_loop_emits_compilable_fragment(self, fmt_name, small_rect):
+        kwargs = {"block_size": 2} if fmt_name == "bsr" else {}
+        fmt = as_format(small_rect, fmt_name, **kwargs)
+        ref = _ref_for(fmt)
+        em = make_emitter(ref, "M0")
+        w = SourceWriter()
+        w.emit("def frag(_src_M0):")
+        w.push()
+        em.prologue(w, "_src_M0")
+        w.emit("total = 0.0")
+        states = []
+        for step in range(len(ref.path.steps)):
+            keys, new_states = em.loop(w, step, states, reverse=False)
+            states = states + list(new_states)
+        w.emit(f"total += {em.get(states)}")
+        while w.indent > 1:
+            w.pop()
+        w.emit("return total")
+        src = ("def _bisect(a,k,lo,hi):\n"
+               "    import bisect\n"
+               "    i = bisect.bisect_left(a, k, lo, hi)\n"
+               "    return i if i < hi and a[i] == k else -1\n" + w.text())
+        ns = {}
+        exec(src, ns)
+        total = ns["frag"](fmt)
+        # sum of all stored values (dense includes zeros, same sum)
+        rows, cols, vals = fmt.to_coo_arrays()
+        assert total == pytest.approx(float(np.sum(vals)))
+
+    @pytest.mark.parametrize("fmt_name", ["csr", "csc", "ell", "dia", "jad"])
+    def test_search_finds_stored_entry(self, fmt_name, small_rect):
+        fmt = as_format(small_rect, fmt_name)
+        ref = _ref_for(fmt)
+        em = make_emitter(ref, "M0")
+        # exercise through the full generated kernel instead of fragments:
+        # searching is covered by the compiler tests; here just check the
+        # emitter produces syntactically valid code
+        w = SourceWriter()
+        w.emit("def frag(_src_M0, k0, k1):")
+        w.push()
+        em.prologue(w, "_src_M0")
+        nkeys = len(ref.path.steps[0].names)
+        states, found = em.search(w, 0, [], ["k0", "k1"][:nkeys])
+        w.emit(f"return {found}")
+        import ast
+
+        ast.parse(w.text())
+
+
+class TestCRenderer:
+    def test_expressions(self):
+        import ast as _ast
+
+        r = _CRenderer()
+        assert r.expr(_ast.parse("a + b * 2", mode="eval").body) == \
+            "(a + (b * 2))"
+        assert r.expr(_ast.parse("x // 3", mode="eval").body) == "(x / 3)"
+        assert r.expr(_ast.parse("a[i, j]", mode="eval").body) == "a[i][j]"
+        assert r.expr(_ast.parse("x if c else y", mode="eval").body) == \
+            "(c ? x : y)"
+        assert "&&" in r.expr(_ast.parse("0 <= x < n", mode="eval").body)
+
+    def test_statements(self):
+        src = (
+            "def kernel(arrays, params):\n"
+            "    t = 0\n"
+            "    for i in range(3):\n"
+            "        while t < 2:\n"
+            "            t = t + 1\n"
+            "        if t >= 2:\n"
+            "            t = 0\n"
+            "        else:\n"
+            "            t = 1\n"
+            "    return None\n"
+        )
+        c = python_to_c_like(src)
+        assert "for (int i = 0; i < 3; i++)" in c
+        assert "while" in c and "else" in c
+        assert c.count("{") == c.count("}")

@@ -1,0 +1,166 @@
+"""Dependence analysis: access collection, dependence classes, reductions."""
+
+import pytest
+
+from repro.analysis import (
+    accesses_to,
+    collect_accesses,
+    dependences,
+    dependence_summary,
+)
+from repro.analysis.dependence import dst_var, src_var
+from repro.analysis.reductions import reduction_array
+from repro.ir import parse_program
+from repro.ir.kernels import frobenius, mvm, smvm_two, ts_lower
+from repro.polyhedra.fm import implied_equalities, is_feasible
+
+
+class TestAccesses:
+    def test_collects_in_order(self):
+        accs = collect_accesses(ts_lower())
+        # S1: write b, read b, read L; S2: write b, read b, read L, read b
+        assert [(a.stmt_name, a.kind, a.array) for a in accs] == [
+            ("S1", "W", "b"), ("S1", "R", "b"), ("S1", "R", "L"),
+            ("S2", "W", "b"), ("S2", "R", "b"), ("S2", "R", "L"),
+            ("S2", "R", "b"),
+        ]
+
+    def test_accesses_to(self):
+        l_accs = accesses_to(ts_lower(), "L")
+        assert len(l_accs) == 2
+        assert all(a.kind == "R" for a in l_accs)
+
+    def test_duplicate_reads_distinct_ordinals(self):
+        accs = accesses_to(smvm_two(), "A")
+        assert len(accs) == 2
+        assert accs[0].ref_id != accs[1].ref_id
+
+
+class TestTsDependences:
+    def test_paper_classes_present(self):
+        deps = dependences(ts_lower())
+        sigs = {(d.src.name, d.dst.name) for d in deps}
+        assert ("S1", "S2") in sigs  # the paper's D1
+        assert ("S2", "S1") in sigs  # the paper's D2
+
+    def test_d1_implies_j_equality(self):
+        deps = dependences(ts_lower())
+        d1 = next(d for d in deps if d.src.name == "S1" and d.dst.name == "S2")
+        pairs = implied_equalities(
+            d1.system, [(src_var("S1", "j"), dst_var("S2", "j"))])
+        assert pairs  # j1 == j2
+
+    def test_d2_implies_j_eq_i(self):
+        deps = dependences(ts_lower())
+        d2s = [d for d in deps if d.src.name == "S2" and d.dst.name == "S1"]
+        assert any(
+            implied_equalities(d.system,
+                               [(src_var("S2", "i"), dst_var("S1", "j"))])
+            for d in d2s
+        )
+
+    def test_all_classes_feasible(self):
+        for d in dependences(ts_lower()):
+            assert is_feasible(d.system)
+
+    def test_dedup_reduces_count(self):
+        full = dependences(ts_lower(), dedup=False)
+        deduped = dependences(ts_lower())
+        assert len(deduped) < len(full)
+
+    def test_summary_renders(self):
+        text = dependence_summary(ts_lower())
+        assert "S1 -> S2" in text
+
+
+class TestMvmDependences:
+    def test_init_ordered_before_update(self):
+        # dedup merges same-polyhedron kinds; the class connecting the
+        # initialization to the accumulation must exist in some kind
+        deps = dependences(mvm())
+        assert any(d.src.name == "S1" and d.dst.name == "S2" for d in deps)
+
+    def test_no_false_self_dep_on_A(self):
+        deps = dependences(mvm())
+        assert all(d.array != "A" for d in deps)  # A is only read
+
+
+class TestIndependentStatements:
+    def test_disjoint_arrays_no_deps(self):
+        p = parse_program("""
+        k(n; x: vector, y: vector) {
+            for i = 0 : n { x[i] = 1; }
+            for j = 0 : n { y[j] = 2; }
+        }
+        """)
+        assert dependences(p) == []
+
+    def test_offset_write_read(self):
+        p = parse_program("""
+        k(n; x: vector) {
+            for i = 1 : n { x[i] = x[i-1]; }
+        }
+        """)
+        deps = dependences(p)
+        assert any(d.kind == "flow" for d in deps)
+
+
+class TestReductions:
+    def test_mvm_update_is_reduction(self):
+        s2 = mvm().statements()[1].stmt
+        assert reduction_array(s2) == "y"
+
+    def test_frobenius_is_reduction(self):
+        s = frobenius().statements()[0].stmt
+        assert reduction_array(s) == "acc"
+
+    def test_ts_update_is_not_reduction(self):
+        # b[i] = b[i] - L[i][j]*b[j] reads b at another index too
+        s2 = ts_lower().statements()[1].stmt
+        assert reduction_array(s2) is None
+
+    def test_plain_assignment_not_reduction(self):
+        s1 = mvm().statements()[0].stmt  # y[i] = 0
+        assert reduction_array(s1) is None
+
+    def test_subtraction_accumulation(self):
+        p = parse_program("""
+        k(m, n; A: matrix, y: vector) {
+            for i = 0 : m { for j = 0 : n {
+                y[i] = y[i] - A[i][j];
+            } }
+        }
+        """)
+        assert reduction_array(p.statements()[0].stmt) == "y"
+
+    def test_self_read_on_wrong_side_of_minus(self):
+        p = parse_program("""
+        k(n; x: vector, y: vector) {
+            for i = 0 : n { y[i] = x[i] - y[i]; }
+        }
+        """)
+        assert reduction_array(p.statements()[0].stmt) is None
+
+    def test_mismatched_indices_not_reduction(self):
+        p = parse_program("""
+        k(n; y: vector) {
+            for i = 1 : n { y[i] = y[i-1] + 1; }
+        }
+        """)
+        assert reduction_array(p.statements()[0].stmt) is None
+
+    def test_right_side_plus_is_reduction(self):
+        p = parse_program("""
+        k(n; x: vector, y: vector) {
+            for i = 0 : n { y[i] = x[i] + y[i]; }
+        }
+        """)
+        assert reduction_array(p.statements()[0].stmt) == "y"
+
+    def test_two_self_reads_not_reduction(self):
+        p = parse_program("""
+        k(n; y: vector) {
+            for i = 0 : n { y[i] = y[i] + y[i]; }
+        }
+        """)
+        assert reduction_array(p.statements()[0].stmt) is None

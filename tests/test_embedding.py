@@ -1,0 +1,199 @@
+"""Statement spaces, embeddings, legality, redundancy (paper Section 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dependences
+from repro.core import (
+    AT,
+    BEFORE,
+    DEC,
+    INC,
+    DimEmbedding,
+    ProductDim,
+    ProductSpace,
+    SpaceEmbedding,
+    analyze_order,
+    build_copies,
+    check_legality,
+    g_matrix,
+    redundant_dims,
+    required_directions,
+)
+from repro.formats import as_format
+from repro.ir.kernels import mvm, ts_lower, ts_upper
+from repro.polyhedra.linexpr import LinExpr
+
+
+def _ts_space(fmt_name, lower_tri, order):
+    """Build the TS product space with the paper's join structure: fused
+    row dim, fused column dim, then iteration dims."""
+    prog = ts_lower()
+    fmt = as_format(lower_tri, fmt_name)
+    path_id = fmt.paths()[0].path_id if fmt_name != "jad" else "rows"
+    copies = build_copies(prog, {"L": fmt}, {("S1", 2): path_id, ("S2", 2): path_id})
+    s1, s2 = copies
+    ref1 = s1.refs[0]
+    ref2 = s2.refs[0]
+    ax = ref1.path.axis_names  # ("r","c") for csr/jad, ("c","r") for csc
+    dims = [
+        ProductDim(f"g0.{ax[0]}", members=[(ref1, ax[0]), (ref2, ax[0])]),
+        ProductDim(f"g0.{ax[1]}", members=[(ref1, ax[1]), (ref2, ax[1])]),
+        ProductDim("it.S1.j", owner_var=s1.qual("j")),
+        ProductDim("it.S2.j", owner_var=s2.qual("j")),
+        ProductDim("it.S2.i", owner_var=s2.qual("i")),
+    ]
+    space = ProductSpace(dims, copies)
+    v = LinExpr.variable
+    per_copy = {
+        "S1": [
+            DimEmbedding(AT, v(ref1.axis_var(ax[0]))),
+            DimEmbedding(AT, v(ref1.axis_var(ax[1]))),
+            DimEmbedding(AT, v(s1.qual("j"))),
+            DimEmbedding(AT, v(s1.qual("j"))),   # aligned j1 == j2
+            DimEmbedding(AT, v(s1.qual("j"))),   # aligned j1 == i2
+        ],
+        "S2": [
+            DimEmbedding(AT, v(ref2.axis_var(ax[0]))),
+            DimEmbedding(AT, v(ref2.axis_var(ax[1]))),
+            DimEmbedding(AT, v(s2.qual("j"))),
+            DimEmbedding(AT, v(s2.qual("j"))),
+            DimEmbedding(AT, v(s2.qual("i"))),
+        ],
+    }
+    return prog, space, SpaceEmbedding(space, per_copy)
+
+
+class TestCopies:
+    def test_simple_binding(self, lower_tri):
+        fmt = as_format(lower_tri, "csr")
+        copies = build_copies(ts_lower(), {"L": fmt}, {})
+        assert [c.label for c in copies] == ["S1", "S2"]
+        assert len(copies[0].refs) == 1
+        assert copies[0].refs[0].path.path_id == "rows"
+
+    def test_union_splits(self, lower_tri):
+        fmt = as_format(lower_tri, "msr")
+        copies = build_copies(ts_lower(), {"L": fmt}, {})
+        assert [c.label for c in copies] == [
+            "S1[u0]", "S1[u1]", "S2[u0]", "S2[u1]"]
+
+    def test_relation_couples_axes(self, lower_tri):
+        fmt = as_format(lower_tri, "dia")
+        copies = build_copies(ts_lower(), {"L": fmt}, {})
+        s1 = copies[0]
+        rel = s1.relation()
+        # DIA relation: d + o == j and o == j force d == 0 for the L[j][j]
+        # reference
+        from repro.polyhedra.fm import bounds_of
+
+        d_var = s1.refs[0].axis_var("d")
+        lo, hi = bounds_of(rel, LinExpr.variable(d_var))
+        assert lo == 0 and hi == 0
+
+
+class TestLegality:
+    def test_paper_embedding_legal(self, lower_tri):
+        prog, space, emb = _ts_space("csr", lower_tri, "rows")
+        deps = dependences(prog)
+        assert check_legality(emb, deps)
+        oa = analyze_order(emb, deps)
+        assert oa.legal
+
+    def test_csr_requires_increasing_rows_and_cols(self, lower_tri):
+        prog, space, emb = _ts_space("csr", lower_tri, "rows")
+        deps = dependences(prog)
+        oa = analyze_order(emb, deps)
+        # forward substitution: both data dims must run forward
+        assert oa.directions.get(0) == INC
+        assert oa.directions.get(1) == INC
+        req = required_directions(emb, deps)
+        assert req == {0, 1}
+
+    def test_upper_solve_requires_decreasing(self, upper_tri):
+        """Backward substitution forces decreasing enumeration — the
+        all-increasing check fails but direction solving succeeds."""
+        prog = ts_upper()
+        fmt = as_format(upper_tri, "csr")
+        copies = build_copies(prog, {"U": fmt}, {})
+        s1, s2 = copies
+        r1, r2 = s1.refs[0], s2.refs[0]
+        dims = [
+            ProductDim("g0.r", members=[(r1, "r"), (r2, "r")]),
+            ProductDim("g0.c", members=[(r1, "c"), (r2, "c")]),
+            ProductDim("it.S1.jr", owner_var=s1.qual("jr")),
+            ProductDim("it.S2.jr", owner_var=s2.qual("jr")),
+            ProductDim("it.S2.ir", owner_var=s2.qual("ir")),
+        ]
+        space = ProductSpace(dims, copies)
+        v = LinExpr.variable
+        per_copy = {
+            "S1": [DimEmbedding(AT, v(r1.axis_var("r"))),
+                   DimEmbedding(AT, v(r1.axis_var("c"))),
+                   DimEmbedding(AT, v(s1.qual("jr"))),
+                   DimEmbedding(AT, v(s1.qual("jr"))),
+                   DimEmbedding(AT, v(s1.qual("jr")))],
+            "S2": [DimEmbedding(AT, v(r2.axis_var("r"))),
+                   DimEmbedding(AT, v(r2.axis_var("c"))),
+                   DimEmbedding(AT, v(s2.qual("jr"))),
+                   DimEmbedding(AT, v(s2.qual("jr"))),
+                   DimEmbedding(AT, v(s2.qual("ir")))],
+        }
+        emb = SpaceEmbedding(space, per_copy)
+        deps = dependences(prog)
+        assert not check_legality(emb, deps)  # all-increasing fails
+        oa = analyze_order(emb, deps)
+        assert oa.legal
+        assert oa.directions.get(0) == DEC
+
+    def test_illegal_placement_rejected(self, small_rect):
+        """Placing the initialization AFTER the accumulation loop breaks
+        the flow dependence."""
+        prog = mvm()
+        fmt = as_format(small_rect, "csr")
+        copies = build_copies(prog, {"A": fmt}, {})
+        s1, s2 = copies
+        ref = s2.refs[0]
+        from repro.core import AFTER
+
+        dims = [
+            ProductDim("g0.r", members=[(ref, "r")]),
+            ProductDim("g0.c", members=[(ref, "c")]),
+            ProductDim("it.S1.i", owner_var=s1.qual("i")),
+            ProductDim("it.S2.i", owner_var=s2.qual("i")),
+            ProductDim("it.S2.j", owner_var=s2.qual("j")),
+        ]
+        space = ProductSpace(dims, copies)
+        v = LinExpr.variable
+        good = {
+            "S1": [DimEmbedding(AT, v(s1.qual("i"))),
+                   DimEmbedding(BEFORE),
+                   DimEmbedding(AT, v(s1.qual("i"))),
+                   DimEmbedding(AT, v(s1.qual("i"))),
+                   DimEmbedding(BEFORE)],
+            "S2": [DimEmbedding(AT, v(ref.axis_var("r"))),
+                   DimEmbedding(AT, v(ref.axis_var("c"))),
+                   DimEmbedding(AT, v(s2.qual("i"))),
+                   DimEmbedding(AT, v(s2.qual("i"))),
+                   DimEmbedding(AT, v(s2.qual("j")))],
+        }
+        deps = dependences(prog)
+        assert analyze_order(SpaceEmbedding(space, good), deps).legal
+        bad = {k: list(vv) for k, vv in good.items()}
+        bad["S1"][1] = DimEmbedding(AFTER)
+        assert not analyze_order(SpaceEmbedding(space, bad), deps).legal
+
+
+class TestRedundancy:
+    def test_paper_figure7(self, lower_tri):
+        """Only the two fused data dimensions are non-redundant in the TS
+        product space (paper Figure 7)."""
+        prog, space, emb = _ts_space("csr", lower_tri, "rows")
+        verdicts = redundant_dims(space, emb)
+        assert verdicts == [False, False, True, True, True]
+
+    def test_g_matrix_shape(self, lower_tri):
+        prog, space, emb = _ts_space("csr", lower_tri, "rows")
+        G, row_names, cols = g_matrix(space, emb)
+        assert len(row_names) == 5
+        assert G.shape[0] == 5

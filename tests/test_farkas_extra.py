@@ -1,0 +1,72 @@
+"""Farkas legal-coefficient spaces and custom program assumptions."""
+
+import numpy as np
+import pytest
+
+from repro.polyhedra import (
+    System,
+    bounds_of,
+    farkas_nonneg_system,
+    is_feasible,
+    sample_point,
+)
+from repro.polyhedra.farkas import legal_coefficient_space
+from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra.system import eq, ge, le, lt
+
+
+class TestLegalCoefficientSpace:
+    def test_one_dimensional_schedule(self):
+        """For the dependence {i' = i + 1, 0 <= i <= N-1, N >= 1} a schedule
+        theta(i) = c*i is legal (delta = c) iff c >= 0 — the Farkas system
+        over the unknown c must carve out exactly that half-line."""
+        i, i2, N = var("i"), var("i2"), var("N")
+        dep = System([ge(i, 0), le(i, N - 1), eq(i2, i + 1), ge(N, 1)])
+        # delta = c*i2 - c*i  ->  coefficient c on i2, -c on i
+        c = LinExpr.variable("c")
+        sys_ = legal_coefficient_space(
+            dep, {"i2": c, "i": c * -1, "N": LinExpr.constant(0)},
+            LinExpr.constant(0))
+        lo, hi = bounds_of(sys_, var("c"))
+        assert lo == 0
+        assert hi == float("inf")
+
+    def test_sample_gives_legal_coefficients(self):
+        i, i2, N = var("i"), var("i2"), var("N")
+        dep = System([ge(i, 0), le(i, N - 1), eq(i2, i + 1), ge(N, 1)])
+        c = LinExpr.variable("c")
+        sys_ = legal_coefficient_space(
+            dep, {"i2": c, "i": c * -1, "N": LinExpr.constant(0)},
+            LinExpr.constant(0))
+        # force a strictly positive schedule and sample one
+        p = sample_point(sys_.and_also(ge(var("c"), 1)))
+        assert p is not None and p["c"] >= 1
+
+
+class TestCustomAssumptions:
+    def test_assumptions_prune_dependences(self):
+        """A user assumption can make a dependence class infeasible."""
+        from repro.analysis import dependences
+        from repro.ir import parse_program
+        from repro.ir.program import Program
+
+        text = """
+        k(n, m; x: vector) {
+            for i = 0 : n { x[i + m] = x[i]; }
+        }
+        """
+        p1 = parse_program(text)
+        base = len(dependences(p1))
+        # assume m >= n: the write range x[m..] cannot alias the read
+        # range x[..n-1]
+        p2 = parse_program(text)
+        p2.assumptions = p2.assumptions.and_also(ge(var("m"), var("n")))
+        pruned = len(dependences(p2))
+        assert pruned <= base
+
+    def test_default_assumption_params_nonneg(self):
+        from repro.ir.kernels import mvm
+
+        p = mvm()
+        assert is_feasible(p.assumptions)
+        assert not is_feasible(p.assumptions.and_also(le(var("m"), -1)))

@@ -1,0 +1,120 @@
+"""Automatic format selection (paper Section 6 future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import PlanError
+from repro.formats import as_format
+from repro.formats.generate import banded, lower_triangular_of, random_sparse
+from repro.ir.kernels import mvm, ts_lower
+from repro.search import select_format
+
+
+class TestModelMode:
+    def test_ranks_all_candidates(self):
+        m = random_sparse(12, 12, 0.2, seed=8)
+        res = select_format(mvm(), "A", m, candidates=("csr", "coo", "jad"))
+        assert len(res.choices) == 3
+        assert all(c.ok for c in res.choices)
+        scores = [c.score for c in res.choices]
+        assert scores == sorted(scores)
+
+    def test_banded_matrix_prefers_dia(self):
+        """For a tight band, DIA's two-level (diagonal, offset) walk is the
+        cheapest structure under the Figure 11 model."""
+        m = banded(64, bandwidth=1, seed=0)
+        res = select_format(mvm(), "A", m,
+                            candidates=("csr", "coo", "dia", "jad"))
+        name, inst, kernel = res.best
+        assert name == "dia"
+
+    def test_ts_excludes_dia(self):
+        """DIA has no legal TS plan; it must be reported, not crash."""
+        L = lower_triangular_of(random_sparse(12, 12, 0.2, seed=9))
+        res = select_format(ts_lower(), "L", L,
+                            candidates=("csr", "dia", "jad"))
+        dia_choice = next(c for c in res.choices if c.format_name == "dia")
+        assert not dia_choice.ok
+        assert res.best[0] in ("csr", "jad")
+
+    def test_all_illegal_raises(self):
+        L = lower_triangular_of(random_sparse(10, 10, 0.2, seed=10))
+        with pytest.raises(PlanError):
+            select_format(ts_lower(), "L", L, candidates=("dia",))
+
+    def test_table_renders(self):
+        m = random_sparse(10, 10, 0.2, seed=11)
+        res = select_format(mvm(), "A", m, candidates=("csr", "coo"))
+        t = res.table()
+        assert "csr" in t and "coo" in t
+
+    def test_accepts_dense_input(self):
+        d = random_sparse(8, 8, 0.3, seed=12).to_dense()
+        res = select_format(mvm(), "A", d, candidates=("csr", "coo"))
+        assert res.best[0] in ("csr", "coo")
+
+    def test_bad_mode(self):
+        m = random_sparse(8, 8, 0.3, seed=13)
+        with pytest.raises(ValueError):
+            select_format(mvm(), "A", m, mode="psychic")
+
+    def test_empirical_needs_workload(self):
+        m = random_sparse(8, 8, 0.3, seed=13)
+        with pytest.raises(ValueError):
+            select_format(mvm(), "A", m, mode="empirical")
+
+
+class TestEmpiricalMode:
+    def test_measures_and_winner_runs(self):
+        m = random_sparse(32, 32, 0.15, seed=14)
+        n = 32
+        x = np.random.default_rng(0).random(n)
+
+        def workload(fmt):
+            return ({"A": fmt, "x": x, "y": np.zeros(n)}, {"m": n, "n": n})
+
+        res = select_format(mvm(), "A", m, candidates=("csr", "coo", "jad"),
+                            mode="empirical", workload=workload, repeats=2)
+        assert all(c.score > 0 for c in res.choices if c.ok)
+        name, inst, kernel = res.best
+        y = np.zeros(n)
+        kernel({"A": inst, "x": x, "y": y}, {"m": n, "n": n})
+        assert np.allclose(y, m.to_dense() @ x)
+
+    def test_empirical_rejects_dense_for_sparse_band(self):
+        """Empirically, walking 382 stored entries must beat walking all
+        16384 dense positions — whatever the constant factors."""
+        m = banded(128, bandwidth=1, seed=1)
+        n = 128
+        x = np.random.default_rng(1).random(n)
+
+        def workload(fmt):
+            return ({"A": fmt, "x": x, "y": np.zeros(n)}, {"m": n, "n": n})
+
+        res = select_format(mvm(), "A", m, candidates=("coo", "dense"),
+                            mode="empirical", workload=workload, repeats=2)
+        assert res.best[0] == "coo"
+
+    def test_model_and_measurement_can_disagree(self):
+        """The Figure 11 model counts abstract enumeration steps; measured
+        time includes the backend's constant factors.  For a tridiagonal
+        matrix the model prefers DIA's two-level walk while the generated
+        Python favours COO's single flat loop — exactly the gap the paper's
+        ATLAS-style empirical mode exists to close (Section 6)."""
+        m = banded(128, bandwidth=1, seed=1)
+        n = 128
+        x = np.random.default_rng(1).random(n)
+
+        def workload(fmt):
+            return ({"A": fmt, "x": x, "y": np.zeros(n)}, {"m": n, "n": n})
+
+        res_m = select_format(mvm(), "A", m, candidates=("dia", "coo"))
+        res_e = select_format(mvm(), "A", m, candidates=("dia", "coo"),
+                              mode="empirical", workload=workload, repeats=2)
+        assert res_m.best[0] == "dia"
+        # both winners are correct, whichever they are
+        for res in (res_m, res_e):
+            name, inst, kernel = res.best
+            y = np.zeros(n)
+            kernel({"A": inst, "x": x, "y": y}, {"m": n, "n": n})
+            assert np.allclose(y, m.to_dense() @ x)

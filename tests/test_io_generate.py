@@ -1,0 +1,155 @@
+"""Matrix I/O and synthetic generators."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.formats import as_format
+from repro.formats.generate import (
+    banded,
+    can_1072_like,
+    laplacian_2d,
+    lower_triangular_of,
+    random_sparse,
+    tridiagonal,
+    upper_triangular_of,
+)
+from repro.formats.io import (
+    read_coo_text,
+    read_matrix_market,
+    write_matrix_market,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, small_rect):
+        f = as_format(small_rect, "coo")
+        p = tmp_path / "m.mtx"
+        write_matrix_market(f, p)
+        g = read_matrix_market(p)
+        assert np.allclose(g.to_dense(), small_rect)
+
+    def test_symmetric_expansion(self):
+        text = io.StringIO("""%%MatrixMarket matrix coordinate real symmetric
+3 3 4
+1 1 2.0
+2 1 1.5
+3 2 -1.0
+3 3 5.0
+""")
+        m = read_matrix_market(text)
+        d = m.to_dense()
+        assert np.allclose(d, d.T)
+        assert d[1, 0] == 1.5 and d[0, 1] == 1.5
+
+    def test_skew_symmetric(self):
+        text = io.StringIO("""%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+""")
+        d = read_matrix_market(text).to_dense()
+        assert d[1, 0] == 3.0 and d[0, 1] == -3.0
+
+    def test_pattern(self):
+        text = io.StringIO("""%%MatrixMarket matrix coordinate pattern general
+2 3 2
+1 2
+2 1
+""")
+        d = read_matrix_market(text).to_dense()
+        assert d[0, 1] == 1.0 and d[1, 0] == 1.0
+
+    def test_comments_skipped(self):
+        text = io.StringIO("""%%MatrixMarket matrix coordinate real general
+% a comment
+2 2 1
+1 1 4.0
+""")
+        assert read_matrix_market(text).get(0, 0) == 4.0
+
+    def test_bad_header(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO("%%NotMM\n1 1 0\n"))
+
+    def test_wrong_count(self):
+        text = io.StringIO("""%%MatrixMarket matrix coordinate real general
+2 2 3
+1 1 4.0
+""")
+        with pytest.raises(ValueError):
+            read_matrix_market(text)
+
+    def test_unsupported_storage(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(
+                "%%MatrixMarket matrix array real general\n1 1\n1.0\n"))
+
+    def test_coo_text(self, tmp_path):
+        p = tmp_path / "t.coo"
+        p.write_text("# fixture\n0 1 2.5\n2 0 1.0\n")
+        m = read_coo_text(p, (3, 3))
+        assert m.get(0, 1) == 2.5 and m.get(2, 0) == 1.0
+
+
+class TestGenerators:
+    def test_random_sparse_density(self):
+        m = random_sparse(50, 40, density=0.1, seed=1)
+        assert m.shape == (50, 40)
+        assert 0 < m.nnz <= 0.2 * 50 * 40
+
+    def test_random_values_bounded_away_from_zero(self):
+        m = random_sparse(20, 20, 0.2, seed=2)
+        _, _, vals = m.to_coo_arrays()
+        assert np.all(np.abs(vals) >= 0.5)
+
+    def test_banded_structure(self):
+        m = banded(10, bandwidth=2, seed=0)
+        d = m.to_dense()
+        r, c = np.nonzero(d)
+        assert np.all(np.abs(r - c) <= 2)
+        assert np.all(np.diag(d) != 0)
+
+    def test_tridiagonal(self):
+        d = tridiagonal(6).to_dense()
+        r, c = np.nonzero(d)
+        assert np.all(np.abs(r - c) <= 1)
+
+    def test_laplacian_spd(self):
+        d = laplacian_2d(4).to_dense()
+        assert np.allclose(d, d.T)
+        w = np.linalg.eigvalsh(d)
+        assert w[0] > 0
+
+    def test_laplacian_row_structure(self):
+        d = laplacian_2d(3).to_dense()
+        assert d[4, 4] == 4.0  # interior node
+        assert d[4, 1] == -1.0 and d[4, 3] == -1.0
+
+    def test_can_1072_like_profile(self):
+        m = can_1072_like()
+        assert m.shape == (1072, 1072)
+        assert abs(m.nnz - 12444) < 800
+        d = m.to_dense()
+        assert np.allclose(d, d.T)       # symmetric like the original
+        assert np.all(np.diag(d) != 0)   # full diagonal
+
+    def test_can_like_deterministic(self):
+        a = can_1072_like(n=64, target_nnz=400)
+        b = can_1072_like(n=64, target_nnz=400)
+        assert np.allclose(a.to_dense(), b.to_dense())
+
+    def test_lower_triangular_of(self):
+        m = random_sparse(10, 10, 0.3, seed=5)
+        L = lower_triangular_of(m)
+        d = L.to_dense()
+        assert np.allclose(d, np.tril(d))
+        assert np.all(np.diag(d) != 0)
+        assert L.bounds() is not None
+
+    def test_upper_triangular_of(self):
+        m = random_sparse(10, 10, 0.3, seed=6)
+        U = upper_triangular_of(m)
+        d = U.to_dense()
+        assert np.allclose(d, np.triu(d))
+        assert U.bounds() is not None

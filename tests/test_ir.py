@@ -1,0 +1,214 @@
+"""Dense-program IR: parser, printer, validation, semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    execute_dense,
+    parse_program,
+    program_to_text,
+    validate_program,
+)
+from repro.ir.builder import (
+    assign,
+    div,
+    loop,
+    matrix,
+    mul,
+    program,
+    read,
+    ref,
+    sub,
+    vector,
+)
+from repro.ir.expr import AffExpr
+from repro.ir.kernels import ALL_KERNELS, mvm, ts_lower
+from repro.ir.parser import ParseError
+from repro.ir.validate import ValidationError
+
+
+class TestParser:
+    def test_ts_parses(self):
+        p = ts_lower()
+        assert p.name == "ts"
+        assert [c.name for c in p.statements()] == ["S1", "S2"]
+
+    def test_statement_contexts(self):
+        p = ts_lower()
+        s1, s2 = p.statements()
+        assert s1.vars == ("j",)
+        assert s2.vars == ("j", "i")
+        assert s1.common_depth(s2) == 1
+        assert s1.precedes_syntactically(s2, 1)
+        assert not s2.precedes_syntactically(s1, 1)
+
+    def test_affine_expressions(self):
+        p = parse_program("""
+        k(n; A: matrix) {
+            for i = 0 : n {
+                for j = 2*i - 1 : n + 3 {
+                    A[i][j - i] = A[2*i - j][j] * 2;
+                }
+            }
+        }
+        """)
+        s = p.statements()[0]
+        assert s.stmt.lhs.indices[1] == AffExpr("j") - AffExpr("i")
+
+    def test_rejects_nonaffine_index(self):
+        with pytest.raises(ParseError):
+            parse_program("k(n; A: matrix) { for i = 0 : n { A[i*i][0] = 1; } }")
+
+    def test_rejects_undeclared_array(self):
+        with pytest.raises(ParseError):
+            parse_program("k(n; A: matrix) { for i = 0 : n { B[i][0] = 1; } }")
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ParseError):
+            parse_program("k(n; A: matrix) { for i = 0 : n { A[i][0] = q; } }")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("k(n; A: matrix) { for i = 0 : n { ??? } }")
+
+    def test_comments_allowed(self):
+        p = parse_program("""
+        k(n; x: vector) {   # a comment
+            for i = 0 : n { // another
+                x[i] = 1;
+            }
+        }
+        """)
+        assert len(p.statements()) == 1
+
+    def test_scalar_reads(self):
+        p = parse_program("""
+        k(n; A: matrix, acc: scalar) {
+            for i = 0 : n { acc = acc + A[i][i]; }
+        }
+        """)
+        assert p.statements()[0].stmt.reads()[0].array == "acc"
+
+    def test_parameter_in_value_position(self):
+        p = parse_program("""
+        k(n, alpha; x: vector) {
+            for i = 0 : n { x[i] = alpha * x[i]; }
+        }
+        """)
+        arrays = {"x": np.ones(4)}
+        execute_dense(p, arrays, {"n": 4, "alpha": 2.5})
+        assert np.allclose(arrays["x"], 2.5)
+
+
+class TestPrinterRoundtrip:
+    @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+    def test_roundtrip(self, name):
+        p = ALL_KERNELS[name]()
+        text = program_to_text(p)
+        p2 = parse_program(text)
+        assert program_to_text(p2) == text
+
+
+class TestBuilder:
+    def test_build_ts(self):
+        p = program(
+            "ts", params=["n"],
+            arrays={"L": matrix(), "b": vector()},
+            body=[
+                loop("j", 0, "n", [
+                    assign(ref("b", "j"), div(read("b", "j"), read("L", "j", "j"))),
+                    loop("i", AffExpr("j") + 1, "n", [
+                        assign(ref("b", "i"),
+                               sub(read("b", "i"),
+                                   mul(read("L", "i", "j"), read("b", "j")))),
+                    ]),
+                ]),
+            ],
+        )
+        assert program_to_text(p) == program_to_text(ts_lower())
+
+
+class TestValidation:
+    def test_valid_kernels(self):
+        for name, fn in ALL_KERNELS.items():
+            validate_program(fn())
+
+    def test_arity_error(self):
+        p = program("k", ["n"], {"A": matrix()},
+                    [loop("i", 0, "n", [assign(ref("A", "i"), 1)])])
+        with pytest.raises(ValidationError):
+            validate_program(p)
+
+    def test_unknown_variable_error(self):
+        p = program("k", ["n"], {"x": vector()},
+                    [loop("i", 0, "n", [assign(ref("x", "q"), 1)])])
+        with pytest.raises(ValidationError):
+            validate_program(p)
+
+    def test_shadowing_error(self):
+        p = program("k", ["n"], {"x": vector()},
+                    [loop("i", 0, "n",
+                          [loop("i", 0, "n", [assign(ref("x", "i"), 1)])])])
+        with pytest.raises(ValidationError):
+            validate_program(p)
+
+
+class TestSemantics:
+    def test_mvm(self, rng):
+        A = rng.random((5, 4))
+        x = rng.random(4)
+        y = np.zeros(5)
+        execute_dense(mvm(), {"A": A, "x": x, "y": y}, {"m": 5, "n": 4})
+        assert np.allclose(y, A @ x)
+
+    def test_ts(self, rng):
+        n = 7
+        L = np.tril(rng.random((n, n))) + 2 * np.eye(n)
+        b = rng.random(n)
+        b0 = b.copy()
+        execute_dense(ts_lower(), {"L": L, "b": b}, {"n": n})
+        assert np.allclose(b, np.linalg.solve(L, b0))
+
+    def test_ts_variants_agree(self, rng):
+        from repro.ir.kernels import ts_lower_row
+
+        n = 6
+        L = np.tril(rng.random((n, n))) + 2 * np.eye(n)
+        b = rng.random(n)
+        b1, b2 = b.copy(), b.copy()
+        execute_dense(ts_lower(), {"L": L.copy(), "b": b1}, {"n": n})
+        execute_dense(ts_lower_row(), {"L": L.copy(), "b": b2}, {"n": n})
+        assert np.allclose(b1, b2)
+
+    def test_ts_upper(self, rng):
+        from repro.ir.kernels import ts_upper
+
+        n = 6
+        U = np.triu(rng.random((n, n))) + 2 * np.eye(n)
+        b = rng.random(n)
+        b0 = b.copy()
+        execute_dense(ts_upper(), {"U": U, "b": b}, {"n": n})
+        assert np.allclose(b, np.linalg.solve(U, b0))
+
+    def test_frobenius(self, rng):
+        from repro.ir.kernels import frobenius
+
+        A = rng.random((3, 4))
+        acc = np.array(0.0)
+        execute_dense(frobenius(), {"A": A, "acc": acc}, {"m": 3, "n": 4})
+        assert np.allclose(acc, (A * A).sum())
+
+    def test_row_col_sums(self, rng):
+        from repro.ir.kernels import col_sums, row_sums
+
+        A = rng.random((3, 4))
+        s = np.zeros(3)
+        execute_dense(row_sums(), {"A": A, "s": s}, {"m": 3, "n": 4})
+        assert np.allclose(s, A.sum(axis=1))
+        s = np.zeros(4)
+        execute_dense(col_sums(), {"A": A, "s": s}, {"m": 3, "n": 4})
+        assert np.allclose(s, A.sum(axis=0))
+
+    def test_missing_array_raises(self):
+        with pytest.raises(KeyError):
+            execute_dense(mvm(), {"A": np.zeros((2, 2))}, {"m": 2, "n": 2})

@@ -1,0 +1,129 @@
+"""Lexicographic order tests and Farkas certificates."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra.farkas import farkas_certificate, farkas_nonneg_system
+from repro.polyhedra.fm import bounds_of, is_feasible, sample_point
+from repro.polyhedra.lex import (
+    can_be_first_positive,
+    first_positive_dims,
+    lex_nonneg,
+    lex_positive,
+)
+from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra.system import System, eq, ge, gt, le, lt
+
+
+def ts_d1():
+    """Paper dependence class D1 = {1<=j1<=N, 1<=j2<i2<=N, j1=j2}."""
+    j1, j2, i2, N = var("j1"), var("j2"), var("i2"), var("N")
+    return System([ge(j1, 1), le(j1, N), ge(j2, 1), lt(j2, i2), le(i2, N),
+                   eq(j1, j2)])
+
+
+def ts_d2():
+    """Paper dependence class D2 (j1 = i2)."""
+    j1, j2, i2, N = var("j1"), var("j2"), var("i2"), var("N")
+    return System([ge(j1, 1), le(j1, N), ge(j2, 1), lt(j2, i2), le(i2, N),
+                   eq(j1, i2)])
+
+
+class TestLexNonneg:
+    def test_paper_d1_deltas(self):
+        """The paper's embedding yields delta = (+,+,0,0,0,0,+) on D1."""
+        j1, j2, i2 = var("j1"), var("j2"), var("i2")
+        d = [i2 - j1, i2 - j1, j2 - j1, j2 - j1, j2 - j1, j2 - j1, i2 - j1]
+        assert lex_nonneg(ts_d1(), d)
+        assert lex_positive(ts_d1(), d)
+
+    def test_paper_d2_deltas(self):
+        """delta = (0,0,+,+,+,+,0) on D2."""
+        j1, j2, i2 = var("j1"), var("j2"), var("i2")
+        d = [j1 - i2, j1 - i2, j1 - j2, j1 - j2, j1 - j2, j1 - j2, j1 - i2]
+        assert lex_nonneg(ts_d2(), d)
+
+    def test_violation_detected(self):
+        j1, j2, i2 = var("j1"), var("j2"), var("i2")
+        assert not lex_nonneg(ts_d2(), [j1 - i2, j2 - j1])
+
+    def test_empty_polyhedron_vacuous(self):
+        s = System([ge(var("x"), 5), le(var("x"), 0)])
+        assert lex_nonneg(s, [var("x") * -1])
+
+    def test_zero_vector_nonneg_but_not_positive(self):
+        s = System([ge(var("x"), 0), le(var("x"), 3)])
+        zero = [var("x") - var("x")]
+        assert lex_nonneg(s, zero)
+        assert not lex_positive(s, zero)
+
+    def test_later_negative_masked_by_earlier_positive(self):
+        # (x, -1) with x >= 1 is lexicographically positive everywhere
+        s = System([ge(var("x"), 1), le(var("x"), 9)])
+        assert lex_nonneg(s, [var("x"), LinExpr({}, -1)])
+
+
+class TestFirstPositive:
+    def test_d1_satisfied_at_dim0(self):
+        j1, j2, i2 = var("j1"), var("j2"), var("i2")
+        d = [i2 - j1, i2 - j1, j2 - j1, j2 - j1, j2 - j1, j2 - j1, i2 - j1]
+        assert first_positive_dims(ts_d1(), d) == {0}
+
+    def test_d2_satisfied_at_dim2(self):
+        j1, j2, i2 = var("j1"), var("j2"), var("i2")
+        d = [j1 - i2, j1 - i2, j1 - j2, j1 - j2, j1 - j2, j1 - j2, j1 - i2]
+        assert first_positive_dims(ts_d2(), d) == {2}
+
+    def test_can_be_first_positive(self):
+        s = System([ge(var("x"), 0), le(var("x"), 3)])
+        deltas = [var("x"), LinExpr({}, 1)]
+        assert can_be_first_positive(s, deltas, 0)     # x can be >= 1
+        assert can_be_first_positive(s, deltas, 1)     # when x == 0
+
+    def test_multiple_possible_satisfiers(self):
+        s = System([ge(var("x"), -2), le(var("x"), 2), ge(var("y"), -2),
+                    le(var("y"), 2)])
+        # either x > 0 satisfies at 0, or x == 0 and y > 0 satisfies at 1
+        assert first_positive_dims(s, [var("x"), var("y")]) == {0, 1}
+
+
+class TestFarkas:
+    def test_certificate_exists(self):
+        poly = System([ge(var("x"), 2), le(var("x"), 10)])
+        cert = farkas_certificate(poly, var("x") - 1)
+        assert cert is not None
+
+    def test_certificate_absent(self):
+        poly = System([ge(var("x"), 2), le(var("x"), 10)])
+        assert farkas_certificate(poly, var("x") - 11) is None
+
+    def test_constant_nonneg(self):
+        poly = System([ge(var("x"), 0)])
+        assert farkas_certificate(poly, LinExpr({}, 3)) is not None
+
+    def test_uses_equalities(self):
+        poly = System([eq(var("x"), var("y")), ge(var("y"), 5), le(var("x"), 9)])
+        assert farkas_certificate(poly, var("x") - 5) is not None
+
+    def test_symbolic_coefficient_space(self):
+        """The Farkas system over an unknown coefficient c encodes:
+        c*x >= 0 over {x >= 1, x <= 3} iff c >= 0."""
+        poly = System([ge(var("x"), 1), le(var("x"), 3)])
+        sys_ = farkas_nonneg_system(
+            poly, {"x": LinExpr.variable("c")}, LinExpr.constant(0))
+        lo, hi = bounds_of(sys_, var("c"))
+        assert lo == 0  # c is exactly the non-negative half-line
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(-5, 5), st.integers(-10, 10))
+    def test_certificate_agrees_with_bounds(self, a, b):
+        """f = a*x + b is non-negative over {1 <= x <= 4} iff its minimum
+        is >= 0; Farkas certificates must agree exactly."""
+        poly = System([ge(var("x"), 1), le(var("x"), 4)])
+        f = a * var("x") + b
+        lo, _ = bounds_of(poly, f)
+        cert = farkas_certificate(poly, f)
+        assert (cert is not None) == (lo >= 0)

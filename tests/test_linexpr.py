@@ -1,0 +1,131 @@
+"""Affine expressions (repro.polyhedra.linexpr / repro.ir.expr)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.expr import AffExpr
+from repro.polyhedra.linexpr import LinExpr, const, var
+
+
+class TestLinExpr:
+    def test_variable_and_constant(self):
+        assert var("x").coeff("x") == 1
+        assert const(5).const == 5
+        assert const(5).is_constant
+
+    def test_addition(self):
+        e = var("x") + var("y") + 3
+        assert e.coeff("x") == 1 and e.coeff("y") == 1 and e.const == 3
+
+    def test_cancellation_removes_entry(self):
+        e = var("x") - var("x")
+        assert e.is_constant and e.const == 0
+        assert e.variables() == ()
+
+    def test_scalar_multiplication(self):
+        e = (var("x") + 1) * 3
+        assert e.coeff("x") == 3 and e.const == 3
+
+    def test_fraction_coefficients(self):
+        e = var("x") * Fraction(1, 2)
+        assert e.coeff("x") == Fraction(1, 2)
+
+    def test_float_coefficient_rejected(self):
+        with pytest.raises(TypeError):
+            var("x") * 0.5
+
+    def test_substitute(self):
+        e = var("x") + 2 * var("y")
+        s = e.substitute({"y": var("x") + 1})
+        assert s.coeff("x") == 3 and s.const == 2
+
+    def test_rename(self):
+        e = var("x") + var("y")
+        r = e.rename({"x": "z"})
+        assert r.coeff("z") == 1 and r.coeff("x") == 0
+
+    def test_evaluate(self):
+        e = 2 * var("x") - var("y") + 1
+        assert e.evaluate({"x": 3, "y": 2}) == 5
+
+    def test_evaluate_missing_raises(self):
+        with pytest.raises(KeyError):
+            var("x").evaluate({})
+
+    def test_hash_and_equality(self):
+        assert var("x") + 1 == var("x") + 1
+        assert hash(var("x") + 1) == hash(var("x") + 1)
+        assert var("x") != var("y")
+
+    def test_immutability(self):
+        e = var("x")
+        with pytest.raises(AttributeError):
+            e.const = 5
+
+    def test_rsub(self):
+        e = 5 - var("x")
+        assert e.const == 5 and e.coeff("x") == -1
+
+    def test_repr_readable(self):
+        assert repr(var("x") - var("y") + 1) in ("x - y + 1",)
+
+
+class TestAffExpr:
+    def test_from_string_and_int(self):
+        assert AffExpr("i").coeff("i") == 1
+        assert AffExpr(4).const == 4
+
+    def test_arithmetic(self):
+        e = AffExpr("i") * 2 - AffExpr("j") + 1
+        assert e.coeff("i") == 2 and e.coeff("j") == -1 and e.const == 1
+
+    def test_evaluate_integer(self):
+        e = AffExpr("i") + 1
+        assert e.evaluate({"i": 3}) == 4
+
+    def test_evaluate_non_integer_raises(self):
+        e = AffExpr(LinExpr({"i": Fraction(1, 2)}))
+        with pytest.raises(ValueError):
+            e.evaluate({"i": 1})
+
+    def test_substitute(self):
+        e = AffExpr("i") + AffExpr("j")
+        s = e.substitute({"j": AffExpr("i") + 1})
+        assert s.coeff("i") == 2 and s.const == 1
+
+    def test_equality_with_int(self):
+        assert AffExpr(3) == 3
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.sampled_from("xyz"), st.integers(-9, 9), max_size=3),
+       st.integers(-9, 9),
+       st.dictionaries(st.sampled_from("xyz"), st.integers(-9, 9), max_size=3),
+       st.integers(-9, 9))
+def test_add_commutes(c1, k1, c2, k2):
+    a = LinExpr(c1, k1)
+    b = LinExpr(c2, k2)
+    assert a + b == b + a
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.sampled_from("xyz"), st.integers(-9, 9), max_size=3),
+       st.integers(-9, 9),
+       st.integers(-5, 5))
+def test_scalar_distributes(coeffs, k, s):
+    e = LinExpr(coeffs, k)
+    assert (e + e) * s == e * s + e * s
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.dictionaries(st.sampled_from("xy"), st.integers(-9, 9), max_size=2),
+       st.integers(-9, 9),
+       st.dictionaries(st.sampled_from("xy"), st.integers(0, 5), min_size=2,
+                       max_size=2))
+def test_evaluate_is_linear(coeffs, k, env):
+    e = LinExpr(coeffs, k)
+    doubled = e * 2
+    assert doubled.evaluate(env) == 2 * e.evaluate(env)

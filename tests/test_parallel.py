@@ -1,0 +1,94 @@
+"""DOALL parallelism analysis over enumeration plans."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import dependences
+from repro.core import compile_kernel
+from repro.core.parallel import (
+    analyze_parallelism,
+    annotate_c_source,
+    parallel_loop_names,
+)
+from repro.formats import as_format
+from repro.formats.generate import lower_triangular_of, random_sparse
+from tests.conftest import compile_cached
+
+
+@pytest.fixture(scope="module")
+def mvm_csr():
+    rect = random_sparse(6, 8, 0.3, seed=11)
+    fmt = as_format(rect, "csr")
+    return compile_cached("mvm", "csr", fmt, "A"), fmt
+
+
+@pytest.fixture(scope="module")
+def ts_csr():
+    L = lower_triangular_of(random_sparse(8, 8, 0.3, seed=3))
+    fmt = as_format(L, "csr")
+    return compile_cached("ts_lower", "csr", fmt, "L"), fmt
+
+
+class TestAnalysis:
+    def test_mvm_rows_are_doall(self, mvm_csr):
+        k, _ = mvm_csr
+        deps = dependences(k.program)
+        rep = analyze_parallelism(k.plan, deps)
+        # the row dimension carries no order requirement even without
+        # relaxing reductions: rows write disjoint y entries
+        row_dim = next(d for d in rep.all_dims if d.endswith(".r"))
+        assert rep.classify(row_dim) == "doall"
+
+    def test_mvm_columns_need_atomics(self, mvm_csr):
+        k, _ = mvm_csr
+        deps = dependences(k.program)
+        rep = analyze_parallelism(k.plan, deps)
+        col_dim = next(d for d in rep.all_dims if d.endswith(".c"))
+        # strictly, the accumulation serializes the column walk; with
+        # atomic adds it is free
+        assert rep.classify(col_dim) in ("doall-atomic", "doall")
+        assert col_dim in rep.atomic
+
+    def test_ts_rows_sequential(self, ts_csr):
+        k, _ = ts_csr
+        deps = dependences(k.program)
+        rep = analyze_parallelism(k.plan, deps)
+        row_dim = next(d for d in rep.all_dims if d.endswith(".r"))
+        # forward substitution is inherently ordered in the rows
+        assert rep.classify(row_dim) == "sequential"
+        assert row_dim not in rep.atomic
+
+    def test_flavours_nest(self, mvm_csr, ts_csr):
+        for k, _ in (mvm_csr, ts_csr):
+            deps = dependences(k.program)
+            rep = analyze_parallelism(k.plan, deps)
+            assert rep.strict <= rep.atomic
+
+    def test_loop_names_helper(self, mvm_csr):
+        k, _ = mvm_csr
+        deps = dependences(k.program)
+        names = parallel_loop_names(k.plan, deps, flavour="atomic")
+        assert any(n.endswith(".c") for n in names)
+
+
+class TestOmpRendering:
+    def test_mvm_gets_pragma(self, mvm_csr):
+        k, _ = mvm_csr
+        c = annotate_c_source(k)
+        assert "#pragma omp parallel for" in c or "DOALL dimensions" in c
+
+    def test_ts_outer_loop_not_annotated(self, ts_csr):
+        k, _ = ts_csr
+        c = annotate_c_source(k)
+        # the substitution's row loop must not carry a pragma
+        lines = c.splitlines()
+        for i, l in enumerate(lines):
+            if "for (" in l and "rowptr" not in l and "M0_r" in l:
+                assert "#pragma" not in lines[i - 1]
+                break
+
+    def test_report_repr(self, mvm_csr):
+        k, _ = mvm_csr
+        deps = dependences(k.program)
+        rep = analyze_parallelism(k.plan, deps)
+        assert "doall" in repr(rep)

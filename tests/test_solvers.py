@@ -1,0 +1,187 @@
+"""Iterative solvers over the BLAS layer."""
+
+import numpy as np
+import pytest
+
+from repro.formats import as_format
+from repro.formats.generate import laplacian_2d, random_sparse
+from repro.solvers import (
+    IdentityPreconditioner,
+    JacobiPreconditioner,
+    TriangularPreconditioner,
+    cg,
+    gauss_seidel,
+    gmres,
+    jacobi,
+    pagerank,
+    power_method,
+    sor,
+)
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return laplacian_2d(5)  # 25x25
+
+
+@pytest.fixture(scope="module")
+def spd_dense(spd):
+    return spd.to_dense()
+
+
+@pytest.fixture(scope="module")
+def b25():
+    return np.random.default_rng(31).random(25)
+
+
+class TestCg:
+    @pytest.mark.parametrize("fmt", ["csr", "csc", "coo", "jad", "msr", "dia"])
+    def test_solves(self, fmt, spd, spd_dense, b25):
+        A = as_format(spd, fmt)
+        x, it, res = cg(A, b25, tol=1e-12)
+        assert np.allclose(spd_dense @ x, b25, atol=1e-8)
+        assert it > 0
+
+    def test_preconditioning_reduces_iterations(self, spd, spd_dense, b25):
+        A = as_format(spd, "csr")
+        _, it_plain, _ = cg(A, b25, tol=1e-12)
+        _, it_prec, _ = cg(A, b25, tol=1e-12,
+                           precond=TriangularPreconditioner(A))
+        assert it_prec < it_plain
+
+    def test_jacobi_preconditioner(self, spd, spd_dense, b25):
+        A = as_format(spd, "csr")
+        x, _, _ = cg(A, b25, tol=1e-12, precond=JacobiPreconditioner(A))
+        assert np.allclose(spd_dense @ x, b25, atol=1e-8)
+
+    def test_custom_matvec(self, spd, spd_dense, b25):
+        """The generic-programming payoff: a compiled kernel slots in as
+        the CG matvec."""
+        from repro.core import compile_kernel
+        from repro.ir.kernels import mvm as mvm_kernel
+
+        A = as_format(spd, "csr")
+        k = compile_kernel(mvm_kernel(), {"A": A})
+        fn = k.callable()
+
+        def matvec(v):
+            y = np.zeros(A.nrows)
+            fn({"A": A, "x": v, "y": y}, {"m": A.nrows, "n": A.ncols})
+            return y
+
+        x, _, _ = cg(A, b25, tol=1e-12, matvec=matvec)
+        assert np.allclose(spd_dense @ x, b25, atol=1e-8)
+
+    def test_identity_preconditioner_is_noop(self, spd, b25):
+        A = as_format(spd, "csr")
+        x1, it1, _ = cg(A, b25, tol=1e-12)
+        x2, it2, _ = cg(A, b25, tol=1e-12, precond=IdentityPreconditioner())
+        assert it1 == it2
+        assert np.allclose(x1, x2)
+
+
+class TestStationary:
+    def test_jacobi(self, spd, spd_dense, b25):
+        A = as_format(spd, "csr")
+        x, it, res = jacobi(A, b25, tol=1e-12, max_iter=5000)
+        assert np.allclose(spd_dense @ x, b25, atol=1e-7)
+
+    def test_gauss_seidel_faster_than_jacobi(self, spd, b25):
+        A = as_format(spd, "csr")
+        _, it_j, _ = jacobi(A, b25, tol=1e-10, max_iter=5000)
+        _, it_gs, _ = gauss_seidel(A, b25, tol=1e-10, max_iter=5000)
+        assert it_gs < it_j
+
+    def test_sor(self, spd, spd_dense, b25):
+        A = as_format(spd, "csr")
+        x, it, res = sor(A, b25, omega=1.5, tol=1e-12, max_iter=5000)
+        assert np.allclose(spd_dense @ x, b25, atol=1e-7)
+
+    def test_sor_rejects_bad_omega(self, spd, b25):
+        with pytest.raises(ValueError):
+            sor(as_format(spd, "csr"), b25, omega=2.5)
+
+    def test_jacobi_rejects_zero_diag(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            jacobi(as_format(a, "csr"), np.ones(2))
+
+
+class TestGmres:
+    def test_nonsymmetric(self, rng):
+        n = 20
+        A0 = random_sparse(n, n, 0.2, seed=41, ensure_diag=True)
+        A = as_format(A0, "csr")
+        b = rng.random(n)
+        x, it, res = gmres(A, b, tol=1e-12)
+        assert np.allclose(A.to_dense() @ x, b, atol=1e-7)
+
+    def test_restarting(self, rng):
+        n = 20
+        A0 = random_sparse(n, n, 0.2, seed=42, ensure_diag=True)
+        A = as_format(A0, "csr")
+        b = rng.random(n)
+        x, it, res = gmres(A, b, tol=1e-12, restart=5)
+        assert np.allclose(A.to_dense() @ x, b, atol=1e-6)
+
+
+class TestEigen:
+    def test_power_method(self, spd, spd_dense):
+        lam, v, it = power_method(as_format(spd, "csr"), tol=1e-11,
+                                  max_iter=20000)
+        w = np.linalg.eigvalsh(spd_dense)
+        assert abs(lam - w[-1]) < 1e-5
+
+    def test_pagerank_sums_to_one(self):
+        link = (random_sparse(30, 30, 0.1, seed=2).to_dense() > 0).astype(float)
+        np.fill_diagonal(link, 0.0)
+        pr, it = pagerank(as_format(link, "csr"))
+        assert pr.shape == (30,)
+        assert abs(pr.sum() - 1.0) < 1e-8
+        assert np.all(pr > 0)
+
+    def test_pagerank_favours_linked_page(self):
+        # page 0 is linked by everyone; it must outrank a page nobody links
+        n = 8
+        link = np.zeros((n, n))
+        for j in range(1, n):
+            link[0, j] = 1.0
+        link[1, 0] = 1.0  # page 0 links somewhere so it is not dangling
+        pr, _ = pagerank(as_format(link, "csr"))
+        assert pr[0] == max(pr)
+
+
+class TestBicgstab:
+    def test_nonsymmetric(self, rng):
+        from repro.solvers import bicgstab
+        from repro.formats.generate import random_sparse as _rs
+        from repro.formats import as_format as _af
+
+        n = 24
+        A = _af(_rs(n, n, 0.2, seed=51, ensure_diag=True), "csr")
+        b = rng.random(n)
+        x, it, res = bicgstab(A, b, tol=1e-12)
+        assert np.allclose(A.to_dense() @ x, b, atol=1e-7)
+        assert it > 0
+
+    def test_with_preconditioner(self, spd, spd_dense, b25):
+        from repro.solvers import bicgstab
+
+        A = as_format(spd, "csr")
+        x, it, res = bicgstab(A, b25, tol=1e-12,
+                              precond=JacobiPreconditioner(A))
+        assert np.allclose(spd_dense @ x, b25, atol=1e-7)
+
+    def test_custom_matvec(self, spd, spd_dense, b25):
+        from repro.solvers import bicgstab
+
+        A = as_format(spd, "csr")
+        calls = []
+
+        def mv(v):
+            calls.append(1)
+            return spd_dense @ v
+
+        x, it, res = bicgstab(A, b25, tol=1e-12, matvec=mv)
+        assert calls
+        assert np.allclose(spd_dense @ x, b25, atol=1e-7)

@@ -1,0 +1,244 @@
+"""Constraint systems and Fourier–Motzkin elimination."""
+
+from fractions import Fraction
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra.fm import (
+    NEG_INF,
+    POS_INF,
+    bounds_of,
+    eliminate_variable,
+    implied_equalities,
+    implies,
+    is_feasible,
+    project,
+    sample_point,
+)
+from repro.polyhedra.linexpr import LinExpr, var
+from repro.polyhedra.system import Constraint, EQ, GE, System, eq, ge, gt, le, lt
+
+
+class TestConstraint:
+    def test_normalization_scales_to_integers(self):
+        c = Constraint(var("x") * Fraction(1, 2) - Fraction(3, 2), GE)
+        assert c.expr.coeff("x") == 1 and c.expr.const == -3
+
+    def test_normalization_divides_gcd(self):
+        c = Constraint(var("x") * 4 - 8, GE)
+        assert c.expr.coeff("x") == 1 and c.expr.const == -2
+
+    def test_eq_sign_canonical(self):
+        a = Constraint(var("x") - var("y"), EQ)
+        b = Constraint(var("y") - var("x"), EQ)
+        assert a == b
+
+    def test_trivial_and_contradiction(self):
+        assert Constraint(LinExpr({}, 1), GE).is_trivial
+        assert Constraint(LinExpr({}, -1), GE).is_contradiction
+        assert Constraint(LinExpr({}, 0), EQ).is_trivial
+        assert Constraint(LinExpr({}, 2), EQ).is_contradiction
+
+    def test_satisfied_by(self):
+        c = ge(var("x"), 3)
+        assert c.satisfied_by({"x": Fraction(3)})
+        assert not c.satisfied_by({"x": Fraction(2)})
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Constraint(var("x"), "LT")
+
+
+class TestSystem:
+    def test_dedup(self):
+        s = System([ge(var("x"), 0), ge(var("x"), 0)])
+        assert len(s) == 1
+
+    def test_trivial_dropped(self):
+        s = System([ge(1, 0), ge(var("x"), 0)])
+        assert len(s) == 1
+
+    def test_variables_sorted(self):
+        s = System([ge(var("b"), 0), ge(var("a"), 0)])
+        assert s.variables() == ("a", "b")
+
+    def test_satisfied_by(self):
+        s = System([ge(var("x"), 0), le(var("x"), 5)])
+        assert s.satisfied_by({"x": Fraction(2)})
+        assert not s.satisfied_by({"x": Fraction(9)})
+
+    def test_conjoin_and_rename(self):
+        s = System([ge(var("x"), 0)]).conjoin(System([le(var("x"), 1)]))
+        assert len(s) == 2
+        r = s.rename({"x": "y"})
+        assert r.variables() == ("y",)
+
+    def test_substitute(self):
+        s = System([ge(var("x"), 2)])
+        t = s.substitute({"x": var("y") + 1})
+        assert t.satisfied_by({"y": Fraction(1)})
+        assert not t.satisfied_by({"y": Fraction(0)})
+
+
+class TestFeasibility:
+    def test_empty_system_feasible(self):
+        assert is_feasible(System([]))
+
+    def test_box(self):
+        s = System([ge(var("x"), 0), le(var("x"), 5)])
+        assert is_feasible(s)
+
+    def test_empty_interval(self):
+        s = System([ge(var("x"), 5), le(var("x"), 0)])
+        assert not is_feasible(s)
+
+    def test_equality_substitution_path(self):
+        s = System([eq(var("x"), var("y")), ge(var("x"), 3), le(var("y"), 2)])
+        assert not is_feasible(s)
+
+    def test_triangular_region(self):
+        # 0 <= x <= y <= 10, x >= y + 1 is infeasible
+        s = System([ge(var("x"), 0), le(var("x"), var("y")),
+                    le(var("y"), 10), gt(var("x"), var("y"))])
+        assert not is_feasible(s)
+
+    def test_many_variables(self):
+        cons = []
+        for i in range(6):
+            cons.append(ge(var(f"x{i}"), 0))
+            cons.append(le(var(f"x{i}"), 10))
+        for i in range(5):
+            cons.append(lt(var(f"x{i}"), var(f"x{i+1}")))
+        assert is_feasible(System(cons))
+        cons.append(gt(var("x0"), var("x5")))
+        assert not is_feasible(System(cons))
+
+
+class TestProjection:
+    def test_project_keeps_shadow(self):
+        # x in [0,5], y == x  -> projecting onto y gives [0,5]
+        s = System([ge(var("x"), 0), le(var("x"), 5), eq(var("y"), var("x"))])
+        p = project(s, ["y"])
+        assert p.satisfied_by({"y": Fraction(3)})
+        assert not p.satisfied_by({"y": Fraction(7)})
+
+    def test_eliminate_variable(self):
+        s = System([ge(var("x"), var("y")), le(var("x"), 4)])
+        e = eliminate_variable(s, "x")
+        # exists x with y <= x <= 4 iff y <= 4
+        assert e.satisfied_by({"y": Fraction(4)})
+        assert not e.satisfied_by({"y": Fraction(5)})
+
+
+class TestBounds:
+    def test_closed_interval(self):
+        s = System([ge(var("x"), 2), le(var("x"), 5)])
+        assert bounds_of(s, var("x")) == (Fraction(2), Fraction(5))
+
+    def test_unbounded_above(self):
+        s = System([ge(var("x"), 2)])
+        lo, hi = bounds_of(s, var("x"))
+        assert lo == Fraction(2) and hi == POS_INF
+
+    def test_derived_expression(self):
+        s = System([ge(var("x"), 0), le(var("x"), 3),
+                    ge(var("y"), 1), le(var("y"), 2)])
+        lo, hi = bounds_of(s, var("x") + var("y"))
+        assert (lo, hi) == (Fraction(1), Fraction(5))
+
+    def test_infeasible_raises(self):
+        s = System([ge(var("x"), 5), le(var("x"), 0)])
+        with pytest.raises(ValueError):
+            bounds_of(s, var("x"))
+
+    def test_implies(self):
+        s = System([ge(var("x"), 3)])
+        assert implies(s, ge(var("x"), 2))
+        assert not implies(s, ge(var("x"), 4))
+
+
+class TestImpliedEqualities:
+    def test_direct(self):
+        s = System([eq(var("x"), var("y")), ge(var("x"), 0), le(var("x"), 5)])
+        assert ("x", "y") in implied_equalities(s)
+
+    def test_transitive(self):
+        s = System([eq(var("x"), var("y")), eq(var("y"), var("z")),
+                    ge(var("x"), 0), le(var("x"), 5)])
+        pairs = implied_equalities(s)
+        assert ("x", "z") in pairs
+
+    def test_squeeze(self):
+        # x <= y and y <= x forces equality without an explicit ==
+        s = System([le(var("x"), var("y")), le(var("y"), var("x")),
+                    ge(var("x"), 0), le(var("x"), 9)])
+        assert ("x", "y") in implied_equalities(s)
+
+    def test_not_equal(self):
+        s = System([ge(var("x"), 0), le(var("x"), 5),
+                    ge(var("y"), 0), le(var("y"), 5)])
+        assert implied_equalities(s) == []
+
+
+class TestSamplePoint:
+    def test_in_box(self):
+        s = System([ge(var("x"), 0), le(var("x"), 5), ge(var("y"), var("x"))])
+        p = sample_point(s)
+        assert s.satisfied_by(p)
+
+    def test_infeasible_none(self):
+        s = System([ge(var("x"), 5), le(var("x"), 0)])
+        assert sample_point(s) is None
+
+    def test_with_equalities(self):
+        s = System([eq(var("x") + var("y"), 10), ge(var("x"), 3), ge(var("y"), 3)])
+        p = sample_point(s)
+        assert s.satisfied_by(p)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-6, 6),
+              st.booleans()),
+    min_size=1, max_size=5))
+def test_feasibility_matches_bruteforce(raw):
+    """FM feasibility agrees with brute force over a small integer box for
+    integral systems with bounded coefficients (plus box constraints that
+    make brute force exhaustive)."""
+    cons = [ge(var("x"), -4), le(var("x"), 4), ge(var("y"), -4), le(var("y"), 4)]
+    for a, b, c, is_eq in raw:
+        e = a * var("x") + b * var("y") + c
+        cons.append(Constraint(e, EQ if is_eq else GE))
+    s = System(cons)
+    brute = any(
+        s.satisfied_by({"x": Fraction(x), "y": Fraction(y)})
+        for x in range(-4, 5)
+        for y in range(-4, 5)
+    )
+    fm = is_feasible(s)
+    # rational feasibility is implied by integer feasibility
+    if brute:
+        assert fm
+    # and rational infeasibility implies integer infeasibility
+    if not fm:
+        assert not brute
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-6, 6)),
+    min_size=1, max_size=4))
+def test_sample_point_satisfies(raw):
+    cons = [ge(var("x"), -4), le(var("x"), 4), ge(var("y"), -4), le(var("y"), 4)]
+    for a, b, c in raw:
+        cons.append(Constraint(a * var("x") + b * var("y") + c, GE))
+    s = System(cons)
+    p = sample_point(s)
+    if p is not None:
+        assert s.satisfied_by(p)
+    else:
+        assert not is_feasible(s)

@@ -1,0 +1,73 @@
+"""Utility helpers: ordering, timing, validation."""
+
+import time
+
+import pytest
+
+from repro.util.ordering import interleavings, lex_compare, stable_unique
+from repro.util.timing import best_of, mflops, time_and_rate
+from repro.util.validation import check, require_positive, require_type
+
+
+class TestOrdering:
+    def test_lex_compare(self):
+        assert lex_compare((1, 2), (1, 3)) == -1
+        assert lex_compare((1, 3), (1, 2)) == 1
+        assert lex_compare((1, 2), (1, 2)) == 0
+        assert lex_compare((1,), (1, 0)) == -1
+        assert lex_compare((1, 0), (1,)) == 1
+
+    def test_interleavings_counts(self):
+        out = list(interleavings([["a1", "a2"], ["b1"]]))
+        # 3!/2!1! = 3 interleavings
+        assert len(out) == 3
+        for order in out:
+            assert order.index("a1") < order.index("a2")
+
+    def test_interleavings_empty(self):
+        assert list(interleavings([])) == [()]
+        assert list(interleavings([[], ["x"]])) == [("x",)]
+
+    def test_interleavings_preserve_order(self):
+        for order in interleavings([[1, 2, 3], [4, 5]]):
+            assert order.index(1) < order.index(2) < order.index(3)
+            assert order.index(4) < order.index(5)
+
+    def test_stable_unique(self):
+        assert stable_unique([3, 1, 3, 2, 1]) == [3, 1, 2]
+
+
+class TestTiming:
+    def test_best_of_returns_positive(self):
+        t = best_of(lambda: sum(range(100)), repeats=2, min_time=0.001)
+        assert t > 0
+
+    def test_mflops(self):
+        assert mflops(2_000_000, 1.0) == 2.0
+        assert mflops(1, 0.0) == float("inf")
+
+    def test_time_and_rate(self):
+        sec, rate = time_and_rate(lambda: None, flops=1000, repeats=2)
+        assert sec > 0 and rate > 0
+
+
+class TestValidation:
+    def test_check(self):
+        check(True, "fine")
+        with pytest.raises(ValueError):
+            check(False, "boom")
+        with pytest.raises(KeyError):
+            check(False, "boom", KeyError)
+
+    def test_require_type(self):
+        assert require_type(3, int, "x") == 3
+        with pytest.raises(TypeError):
+            require_type("a", int, "x")
+        assert require_type(3, (int, float), "x") == 3
+
+    def test_require_positive(self):
+        assert require_positive(2, "n") == 2
+        with pytest.raises(ValueError):
+            require_positive(0, "n")
+        with pytest.raises(TypeError):
+            require_positive(1.5, "n")

@@ -1,0 +1,181 @@
+"""The view grammar and access-path extraction (paper Figure 6)."""
+
+import pytest
+
+from repro.formats.views import (
+    AccessPath,
+    Axis,
+    BINARY,
+    Cross,
+    DECREASING,
+    INCREASING,
+    Joint,
+    LINEAR,
+    MapTerm,
+    Nest,
+    NOSEARCH,
+    PermTerm,
+    Perspective,
+    Union,
+    UNORDERED,
+    Value,
+    access_paths,
+    interval_axis,
+    union_branches,
+)
+from repro.polyhedra.linexpr import LinExpr
+
+
+class TestAxis:
+    def test_bad_order(self):
+        with pytest.raises(ValueError):
+            Axis("r", order="sideways")
+
+    def test_bad_search(self):
+        with pytest.raises(ValueError):
+            Axis("r", search="psychic")
+
+    def test_interval_axis_properties(self):
+        a = interval_axis("r")
+        assert a.interval and a.order == INCREASING and a.search == "direct"
+
+
+class TestNestPaths:
+    def test_csr_shape(self):
+        term = Nest(interval_axis("r"), Nest(Axis("c", INCREASING, BINARY), Value()))
+        paths = access_paths(term)
+        assert len(paths) == 1
+        p = paths[0]
+        assert p.axis_names == ("r", "c")
+        assert len(p.steps) == 2
+        assert not p.steps[0].joint
+        assert p.subs["r"] == LinExpr.variable("r")
+        assert p.subs["c"] == LinExpr.variable("c")
+
+    def test_step_of(self):
+        term = Nest(interval_axis("r"), Nest(Axis("c", INCREASING, BINARY), Value()))
+        p = access_paths(term)[0]
+        assert p.step_of("r") == 0 and p.step_of("c") == 1
+        with pytest.raises(KeyError):
+            p.step_of("z")
+
+
+class TestJointPaths:
+    def test_coo_shape(self):
+        term = Joint([Axis("r", UNORDERED, LINEAR), Axis("c", UNORDERED, LINEAR)],
+                     Value())
+        p = access_paths(term)[0]
+        assert len(p.steps) == 1 and p.steps[0].joint
+        assert p.axis_names == ("r", "c")
+
+
+class TestCrossPaths:
+    def test_dense_orderings(self):
+        term = Cross([interval_axis("r"), interval_axis("c")], Value())
+        paths = access_paths(term)
+        orders = {p.axis_names for p in paths}
+        assert orders == {("r", "c"), ("c", "r")}
+
+
+class TestMapPaths:
+    def test_dia_substitution(self):
+        d, o = LinExpr.variable("d"), LinExpr.variable("o")
+        term = MapTerm({"r": d + o, "c": o},
+                       Nest(Axis("d", INCREASING, BINARY),
+                            Nest(interval_axis("o"), Value())))
+        p = access_paths(term)[0]
+        assert p.axis_names == ("d", "o")
+        assert p.subs["r"] == d + o
+        assert p.subs["c"] == o
+
+    def test_blocking_substitution(self):
+        rb, ri = LinExpr.variable("rb"), LinExpr.variable("ri")
+        cb, ci = LinExpr.variable("cb"), LinExpr.variable("ci")
+        term = MapTerm(
+            {"r": rb * 4 + ri, "c": cb * 4 + ci},
+            Nest(interval_axis("rb"),
+                 Nest(Axis("cb", INCREASING, BINARY),
+                      Cross([interval_axis("ri"), interval_axis("ci")], Value()))))
+        paths = access_paths(term)
+        assert len(paths) == 2  # ri/ci orderings
+        assert paths[0].subs["r"].coeff("rb") == 4
+
+    def test_missing_logical_dim_rejected(self):
+        term = MapTerm({"r": LinExpr.variable("d")},
+                       Nest(Axis("d", INCREASING, BINARY), Value()))
+        with pytest.raises(ValueError):
+            access_paths(term)  # "c" neither axis nor mapped
+
+
+class TestPermPaths:
+    def test_jad_like(self):
+        flat = Joint([Axis("rr", UNORDERED, NOSEARCH),
+                      Axis("c", UNORDERED, NOSEARCH)], Value())
+        hier = Nest(interval_axis("rr"),
+                    Nest(Axis("c", INCREASING, BINARY), Value()))
+        term = PermTerm("r", "rr", "iperm", Perspective(flat, hier))
+        paths = access_paths(term)
+        assert len(paths) == 2
+        flat_p, hier_p = paths
+        # the stored axis is renamed to the logical dimension
+        assert flat_p.axis_names == ("r", "c")
+        assert hier_p.axis_names == ("r", "c")
+        # permuted: stored order means nothing for the logical values
+        assert flat_p.axis("r").perm == "iperm"
+        assert flat_p.axis("r").order == UNORDERED
+        assert hier_p.axis("r").order == UNORDERED
+        # the hier view keeps its interval/search capabilities
+        assert hier_p.axis("r").interval
+        assert hier_p.axis("c").order == INCREASING
+
+
+class TestPerspectiveUnion:
+    def test_perspective_multiplies(self):
+        a = Nest(interval_axis("r"), Nest(Axis("c", INCREASING, BINARY), Value()))
+        b = Nest(interval_axis("c"), Nest(Axis("r", INCREASING, BINARY), Value()))
+        term = Perspective(a, b)
+        paths = access_paths(term)
+        assert len(paths) == 2
+        assert {p.branch for p in paths} == {""}
+
+    def test_union_branches(self):
+        d = MapTerm({"r": LinExpr.variable("i"), "c": LinExpr.variable("i")},
+                    Nest(interval_axis("i"), Value()))
+        off = Nest(interval_axis("r"), Nest(Axis("c", INCREASING, BINARY), Value()))
+        term = Union(d, off)
+        paths = access_paths(term)
+        assert [p.branch for p in paths] == ["u0", "u1"]
+        assert union_branches(paths) == ["u0", "u1"]
+
+    def test_nested_union_perspective(self):
+        leafa = Nest(interval_axis("r"), Nest(Axis("c", INCREASING, BINARY), Value()))
+        leafb = Joint([Axis("r", UNORDERED, LINEAR), Axis("c", UNORDERED, LINEAR)],
+                      Value())
+        term = Union(Perspective(leafa, leafb), leafa)
+        paths = access_paths(term)
+        assert [p.branch for p in paths] == ["u0", "u0", "u1"]
+
+
+class TestFormatViews:
+    """Each concrete format's declared view must produce its documented
+    paths."""
+
+    @pytest.mark.parametrize("fmt_name,expected", [
+        ("csr", [("rows", ("r", "c"))]),
+        ("csc", [("cols", ("c", "r"))]),
+        ("coo", [("flat", ("r", "c"))]),
+        ("dia", [("diags", ("d", "o"))]),
+        ("ell", [("rows", ("r", "c"))]),
+        ("jad", [("flat", ("r", "c")), ("rows", ("r", "c"))]),
+        ("dense", [("rowmajor", ("r", "c")), ("colmajor", ("c", "r"))]),
+        ("msr", [("diag", ("i",)), ("off", ("r", "c"))]),
+        ("bsr", [("rows_rc", ("rb", "cb", "ri", "ci")),
+                 ("rows_cr", ("rb", "cb", "ci", "ri"))]),
+    ])
+    def test_paths(self, fmt_name, expected, small_rect):
+        from repro.formats import as_format
+
+        kwargs = {"block_size": 2} if fmt_name == "bsr" else {}
+        f = as_format(small_rect, fmt_name, **kwargs)
+        got = [(p.path_id, p.axis_names) for p in f.paths()]
+        assert got == expected
