@@ -225,7 +225,9 @@ class PlanInterpreter:
             keys = tuple(self._eval_lin(e, ctx.env) for e in method.key_exprs)
             try:
                 st = rt.search(method.step, prefix, keys)
-            except Exception:
+            except NotImplementedError:
+                # only formats without a search capability fall back to the
+                # linear scan; real runtime bugs propagate
                 st = self._linear_search(rt, method.step, prefix, keys)
             return [(keys, st)] if st is not None else []
         raise ExecutionError(f"unknown method {method!r}")
@@ -285,7 +287,7 @@ class PlanInterpreter:
                     prefix = it.refstates.get(role.ref.key, ())
                     try:
                         st = rt.search(role.step, prefix, tuple(keys))
-                    except Exception:
+                    except NotImplementedError:
                         st = self._linear_search(rt, role.step, prefix, tuple(keys))
                     if st is None:
                         it.pruned.add(role.ref.owner_label)

@@ -36,6 +36,7 @@ from repro.core.plan import (
     VarLoopNode,
 )
 from repro.core.spaces import SparseRef, StmtCopy
+from repro.instrument import INSTR
 from repro.ir.expr import ValExpr, VBin, VConst, VNeg, VParam, VRead
 from repro.polyhedra.linexpr import LinExpr
 
@@ -613,7 +614,16 @@ def generate_python_source(plan: Plan) -> str:
 def compile_plan_to_python(plan: Plan):
     """(source, callable) for a plan; the callable has the signature
     ``kernel(arrays, params)`` and mutates the arrays in place."""
-    src = generate_python_source(plan)
+    with INSTR.phase("codegen.total"):
+        INSTR.count("codegen.compiles")
+        src = generate_python_source(plan)
+        fn = source_to_callable(src)
+    return src, fn
+
+
+def source_to_callable(src: str):
+    """Exec generated kernel source and return its ``kernel`` callable
+    (shared by fresh codegen and the compilation cache's source replay)."""
     namespace: Dict[str, object] = {}
     exec(compile(src, "<bernoulli-generated>", "exec"), namespace)
-    return src, namespace["kernel"]
+    return namespace["kernel"]

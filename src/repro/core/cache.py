@@ -1,0 +1,391 @@
+"""Compilation cache: amortize the enumerate-estimate-select pipeline.
+
+The Bernoulli model compiles one kernel per (program, format-structure)
+pair and reuses it for every matrix instance with that structure.  This
+module implements that amortization for :func:`repro.core.compiler.
+compile_kernel`:
+
+**Structural signature** — the cache key is a SHA-256 digest of
+everything the candidate search depends on: the program text (the IR
+printer is deterministic and round-trippable), the per-array format
+*structure* (format class and name, view shape via access-path reprs and
+index substitutions, bounds annotations, per-axis ranges/totals — all
+shape-derived, none statistics-derived), the concrete ``param_values``,
+and the search knobs (``pick``, ``max_orders``, ``simplify_guards``).
+Two calls with equal structural signatures are guaranteed to enumerate
+the identical candidate set and lower the identical plans; only the
+*cost ranking* can differ, because costs read instance statistics.
+
+**Statistics signature & invalidation** — alongside each entry we record
+the instance statistics the ranking consumed (shape, nnz, per-path step
+totals).  On a hit with equal statistics the memoized selection is
+returned as-is.  On a hit with shifted statistics the cached ranked plans
+are *re-costed* against the new instances (``plan_cost(..., fmts=...)``)
+and re-selected — exactly what a fresh search would do after re-lowering
+the same candidates, minus the polyhedral work.  ``pick="first"``
+ignores costs entirely, so its entries replay regardless of statistics
+(the first legal candidate is structure-determined).
+
+**Layers** — an in-memory LRU (always consulted when caching is on) and
+an opt-in on-disk layer (``cache="disk"``) that pickles entries under a
+cache directory so separate processes share compiles.  Generated Python
+source is published into the entry on first codegen and replayed
+byte-identically on later hits.
+
+Control: ``compile_kernel(..., cache="off"|"memory"|"disk")``, default
+taken from ``REPRO_COMPILE_CACHE`` (default ``"memory"``).  With
+``"off"`` the pipeline runs untouched — zero behavior change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.core.plan import ExecNode, LoopNode, VarLoopNode
+from repro.cost.model import plan_cost, step_totals
+from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
+from repro.ir.printer import program_to_text
+from repro.ir.program import Program
+from repro.search.driver import SearchResult, SearchStats
+
+MODES = ("off", "memory", "disk")
+
+
+def resolve_mode(cache: Optional[str]) -> str:
+    """``cache`` kwarg if given, else ``REPRO_COMPILE_CACHE``, else memory."""
+    mode = cache if cache is not None else os.environ.get(
+        "REPRO_COMPILE_CACHE", "memory").strip().lower()
+    if mode not in MODES:
+        raise ValueError(f"cache mode must be one of {MODES}, got {mode!r}")
+    return mode
+
+
+# ---------------------------------------------------------------------------
+# Signatures
+# ---------------------------------------------------------------------------
+
+def format_structure(fmt: SparseFormat) -> Tuple:
+    """Everything about a format instance the candidate search can see:
+    class, view/path shape, substitutions, annotations, axis geometry.
+    Deliberately excludes the stored data and its statistics."""
+    paths = []
+    for p in fmt.paths():
+        axes = []
+        for a in p.axis_names:
+            axes.append((a, fmt.axis_range(a), fmt.axis_total(a)))
+        paths.append((
+            p.path_id,
+            repr(p),                          # steps + branch (subs omitted)
+            repr(sorted(p.subs.items(), key=lambda kv: kv[0])),
+            tuple(axes),
+        ))
+    return (
+        type(fmt).__name__,
+        fmt.format_name,
+        fmt.nrows,
+        fmt.ncols,
+        repr(fmt.bounds()),
+        tuple(paths),
+    )
+
+
+def structural_signature(
+    program: Program,
+    bindings: Mapping[str, SparseFormat],
+    param_values: Mapping[str, int],
+    pick: str,
+    max_orders: int,
+    simplify_guards: bool,
+) -> str:
+    """Canonical digest of everything that determines the candidate set
+    and the lowered plans (not their cost ranking)."""
+    parts: List[str] = [
+        program_to_text(program),
+        repr(sorted((k, int(v)) for k, v in param_values.items())),
+        repr((pick, max_orders, bool(simplify_guards))),
+    ]
+    for name in sorted(bindings):
+        parts.append(repr((name, format_structure(bindings[name]))))
+    blob = "\x1e".join(parts)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def stats_signature(bindings: Mapping[str, SparseFormat]) -> Tuple:
+    """The instance statistics the cost ranking consumed."""
+    out = []
+    for name in sorted(bindings):
+        fmt = bindings[name]
+        per_path = tuple(
+            (p.path_id, tuple(step_totals(fmt, p.path_id))) for p in fmt.paths()
+        )
+        out.append((name, fmt.nrows, fmt.ncols, fmt.nnz, per_path))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Entries
+# ---------------------------------------------------------------------------
+
+class CacheEntry:
+    """One memoized search: the ranked lowered plans (cost-sorted at record
+    time), which index was selected, the statistics that ranking saw, and
+    the generated source per selected plan (published lazily)."""
+
+    def __init__(self, ranked, selected_index: int, pick: str,
+                 stats_sig: Tuple, search_stats: SearchStats):
+        self.ranked = list(ranked)            # [(cost, candidate, plan)]
+        self.selected_index = selected_index
+        self.pick = pick
+        self.stats_sig = stats_sig
+        self.search_stats = search_stats
+        self.simplified = set()               # ranked indexes already guard-simplified
+        self.sources: Dict[int, str] = {}     # ranked index -> generated source
+        self.fns: Dict[int, object] = {}      # ranked index -> exec'd kernel (transient)
+        # pristine per-exec-node guard lists, captured before any guard
+        # simplification, so re-ranking can cost plans the way a fresh
+        # search would (simplification mutates plans in place)
+        self.guard_snapshots: Dict[int, List[List]] = {
+            i: [list(n.guards) for n in _exec_nodes(plan)]
+            for i, (_c, _cand, plan) in enumerate(self.ranked)
+        }
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["fns"] = {}                     # callables don't pickle; rebuilt from source
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+class CompileCache:
+    """In-memory LRU of :class:`CacheEntry`, with an optional disk layer."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self.entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+
+    # -- memory layer ----------------------------------------------------
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self.entries.get(key)
+        if entry is not None:
+            self.entries.move_to_end(key)
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self.entries[key] = entry
+        self.entries.move_to_end(key)
+        while len(self.entries) > self.capacity:
+            self.entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- disk layer ------------------------------------------------------
+    def disk_dir(self) -> str:
+        return os.environ.get(
+            "REPRO_CACHE_DIR",
+            os.path.join(tempfile.gettempdir(), "repro-compile-cache"),
+        )
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir(), key + ".pkl")
+
+    def disk_get(self, key: str) -> Optional[CacheEntry]:
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as f:
+                entry = pickle.load(f)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        if not isinstance(entry, CacheEntry):
+            return None
+        return entry
+
+    def disk_put(self, key: str, entry: CacheEntry) -> None:
+        d = self.disk_dir()
+        try:
+            os.makedirs(d, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=d, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(entry, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._disk_path(key))
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except (OSError, pickle.PickleError, TypeError):
+            # disk layer is best-effort: un-picklable or unwritable entries
+            # simply stay memory-only
+            INSTR.count("cache.disk.save_errors")
+
+
+#: the process-wide compilation cache
+COMPILE_CACHE = CompileCache(
+    capacity=int(os.environ.get("REPRO_COMPILE_CACHE_SIZE", "256") or "256")
+)
+
+
+def clear_compile_cache(disk: bool = False) -> None:
+    """Drop the in-memory cache (and the disk layer when ``disk=True``)."""
+    COMPILE_CACHE.clear()
+    if disk:
+        d = COMPILE_CACHE.disk_dir()
+        if os.path.isdir(d):
+            for fn in os.listdir(d):
+                if fn.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(d, fn))
+                    except OSError:
+                        pass
+
+
+# ---------------------------------------------------------------------------
+# Lookup / record
+# ---------------------------------------------------------------------------
+
+def _select(ranked, pick: str) -> int:
+    return len(ranked) - 1 if pick == "worst" else 0
+
+
+def _exec_nodes(plan) -> List[ExecNode]:
+    out: List[ExecNode] = []
+
+    def walk(nodes):
+        for n in nodes:
+            if isinstance(n, ExecNode):
+                out.append(n)
+            elif isinstance(n, LoopNode):
+                walk(n.before)
+                walk(n.body)
+                walk(n.after)
+            elif isinstance(n, VarLoopNode):
+                walk(n.body)
+
+    walk(plan.nodes)
+    return out
+
+
+def _pristine_cost(entry: CacheEntry, idx: int, plan,
+                   param_values: Mapping[str, int],
+                   fmts: Mapping[str, SparseFormat]) -> float:
+    """Cost the plan as a fresh search would see it: guard simplification
+    happens after costing, so simplified plans are re-costed with their
+    recorded pre-simplification guards swapped back in."""
+    snap = entry.guard_snapshots.get(idx)
+    if idx not in entry.simplified or snap is None:
+        return plan_cost(plan, param_values, fmts=fmts)
+    nodes = _exec_nodes(plan)
+    saved = [n.guards for n in nodes]
+    for n, g in zip(nodes, snap):
+        n.guards = list(g)
+    try:
+        return plan_cost(plan, param_values, fmts=fmts)
+    finally:
+        for n, g in zip(nodes, saved):
+            n.guards = g
+
+
+def lookup(
+    key: str,
+    mode: str,
+    bindings: Mapping[str, SparseFormat],
+    param_values: Mapping[str, int],
+    pick: str,
+) -> Optional[Tuple[SearchResult, CacheEntry, int]]:
+    """Serve a memoized search for this structural key, or None.
+
+    Returns the reconstructed :class:`SearchResult` plus the entry and the
+    ranked index selected (for source replay/publication)."""
+    INSTR.count("cache.lookups")
+    entry = COMPILE_CACHE.get(key)
+    layer = "memory"
+    if entry is None and mode == "disk":
+        entry = COMPILE_CACHE.disk_get(key)
+        layer = "disk"
+        if entry is not None:
+            COMPILE_CACHE.put(key, entry)     # promote for this process
+    if entry is None:
+        INSTR.count("cache.misses")
+        return None
+
+    new_sig = stats_signature(bindings)
+    stats = entry.search_stats.clone()
+    stats.from_cache = True
+
+    if new_sig == entry.stats_sig:
+        INSTR.count(f"cache.hits.{layer}")
+        INSTR.count("cache.hits.exact")
+        idx = entry.selected_index
+        cost, cand, plan = entry.ranked[idx]
+        return SearchResult(plan, cost, cand, stats, list(entry.ranked)), entry, idx
+
+    # Statistics shifted: re-cost the memoized plans against the new
+    # instances and re-select, exactly as a fresh search would rank them.
+    INSTR.count(f"cache.hits.{layer}")
+    INSTR.count("cache.hits.rerank")
+    stats.reranked = True
+    if entry.pick == "first":
+        # "first" never consulted costs; the selection is structure-determined.
+        idx = entry.selected_index
+        _old, cand, plan = entry.ranked[idx]
+        cost = _pristine_cost(entry, idx, plan, param_values, dict(bindings))
+        entry.ranked[idx] = (cost, cand, plan)
+        entry.stats_sig = new_sig
+        return SearchResult(plan, cost, cand, stats, list(entry.ranked)), entry, idx
+
+    fmts = dict(bindings)
+    rescored = [
+        (_pristine_cost(entry, old_i, plan, param_values, fmts), old_i, cand, plan)
+        for old_i, (_oc, cand, plan) in enumerate(entry.ranked)
+    ]
+    rescored.sort(key=lambda t: (t[0], t[1]))  # old rank breaks exact ties
+    old_selected = entry.ranked[entry.selected_index][2]
+    reordered = [(c, cand, plan) for c, _oi, cand, plan in rescored]
+
+    # remap the per-plan side tables through the permutation
+    perm = {old_i: new_i for new_i, (_c, old_i, _cand, _p) in enumerate(rescored)}
+    entry.sources = {perm[i]: s for i, s in entry.sources.items()}
+    entry.fns = {perm[i]: f for i, f in entry.fns.items()}
+    entry.simplified = {perm[i] for i in entry.simplified}
+    entry.guard_snapshots = {perm[i]: g for i, g in entry.guard_snapshots.items()}
+    entry.ranked = reordered
+    entry.stats_sig = new_sig
+    entry.selected_index = _select(reordered, pick)
+
+    cost, cand, plan = entry.ranked[entry.selected_index]
+    if plan is not old_selected:
+        INSTR.count("cache.rerank.changed")
+    return (SearchResult(plan, cost, cand, stats, list(entry.ranked)),
+            entry, entry.selected_index)
+
+
+def record(
+    key: str,
+    mode: str,
+    result: SearchResult,
+    bindings: Mapping[str, SparseFormat],
+    pick: str,
+) -> CacheEntry:
+    """Memoize a fresh search result under its structural key."""
+    selected = next(
+        i for i, (_c, _cand, plan) in enumerate(result.ranked)
+        if plan is result.plan
+    )
+    entry = CacheEntry(result.ranked, selected, pick,
+                       stats_signature(bindings), result.stats.clone())
+    COMPILE_CACHE.put(key, entry)
+    INSTR.count("cache.stores")
+    if mode == "disk":
+        COMPILE_CACHE.disk_put(key, entry)
+    return entry

@@ -9,17 +9,20 @@ Python source (see :mod:`repro.codegen.pysource`).
 This is the analog of the paper's ``#pragma instantiate with Bernoulli``
 template instantiation (Figure 4): the same dense kernel text serves every
 format.
+
+Repeated instantiations are served by the compilation cache
+(:mod:`repro.core.cache`): calls whose program, format *structure*, and
+parameter values match a previous compile reuse its plans (re-ranked if the
+new instances' statistics shifted) instead of re-running the search.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
-import numpy as np
-
-from repro.analysis.dependence import dependences
 from repro.core.plan import Plan
 from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
 from repro.ir.program import Program
 from repro.ir.validate import validate_program
 from repro.search.driver import SearchResult, search
@@ -37,6 +40,7 @@ class CompiledKernel:
         self.cost = result.cost
         self._pyfunc = None
         self._pysource = None
+        self._cache_publish = None
 
     # -- execution -----------------------------------------------------------
     def run(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
@@ -46,7 +50,7 @@ class CompiledKernel:
         from repro.codegen.interp import run_plan
 
         self._check_arrays(arrays)
-        run_plan(self.plan, arrays, params)
+        run_plan(self.plan, arrays, {k: int(v) for k, v in params.items()})
 
     def __call__(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
         """Execute through the generated specialized code (compiled once,
@@ -60,6 +64,9 @@ class CompiledKernel:
             from repro.codegen.pysource import compile_plan_to_python
 
             self._pysource, self._pyfunc = compile_plan_to_python(self.plan)
+            if self._cache_publish is not None:
+                self._cache_publish(self._pysource, self._pyfunc)
+                self._cache_publish = None
         return self._pyfunc
 
     @property
@@ -89,6 +96,70 @@ class CompiledKernel:
         return f"<CompiledKernel {self.program.name} {b} cost={self.cost:.1f}>"
 
 
+def infer_param_values(
+    program: Program,
+    bindings: Mapping[str, SparseFormat],
+) -> Dict[str, int]:
+    """Derive concrete sizes for symbolic parameters from the bound
+    instances, per declared array dimension.
+
+    For every reference ``A[i][j]`` to a bound matrix whose index is a bare
+    loop variable running ``0 .. p`` for a single program parameter ``p``,
+    the instance pins ``p`` to that dimension's extent (rows for dimension
+    0, columns for dimension 1).  Conflicting pins — two bindings implying
+    different values for the same parameter — raise ``ValueError``, since
+    they indicate genuinely incompatible instance shapes.
+
+    Parameters no reference pins fall back to the legacy heuristic
+    (``m``/``n`` from the first binding) so exotic index expressions keep
+    their historical guesses.
+    """
+    guesses: Dict[str, int] = {}
+    origins: Dict[str, str] = {}
+
+    def pin(param: str, value: int, why: str) -> None:
+        old = guesses.get(param)
+        if old is not None and old != value:
+            raise ValueError(
+                f"conflicting size guesses for parameter {param!r}: "
+                f"{old} (from {origins[param]}) vs {value} (from {why}); "
+                f"pass param_values explicitly"
+            )
+        guesses[param] = value
+        origins[param] = why
+
+    params = set(program.params)
+    for ctx in program.statements():
+        loops = {l.var: l for l in ctx.loops}
+        for array, fmt in bindings.items():
+            extents = (fmt.nrows, fmt.ncols)
+            for _kind, indices in ctx.stmt.references(array):
+                for dim, idx in enumerate(indices[:2]):
+                    lin = idx.lin
+                    if lin.const != 0 or len(lin.coeffs) != 1:
+                        continue
+                    (var, coeff), = lin.coeffs.items()
+                    loop = loops.get(var)
+                    if coeff != 1 or loop is None:
+                        continue
+                    lo, hi = loop.lower.lin, loop.upper.lin
+                    if lo.const != 0 or lo.coeffs:
+                        continue
+                    if hi.const != 0 or len(hi.coeffs) != 1:
+                        continue
+                    (p, pc), = hi.coeffs.items()
+                    if pc != 1 or p not in params:
+                        continue
+                    pin(p, extents[dim],
+                        f"{array}[{'rows' if dim == 0 else 'cols'}] in {ctx.name}")
+
+    for fmt in bindings.values():
+        guesses.setdefault("m", fmt.nrows)
+        guesses.setdefault("n", fmt.ncols)
+        break
+    return guesses
+
+
 def compile_kernel(
     program: Program,
     bindings: Mapping[str, SparseFormat],
@@ -96,17 +167,27 @@ def compile_kernel(
     pick: str = "best",
     max_orders: int = 12,
     simplify_guards: bool = True,
+    cache: Optional[str] = None,
 ) -> CompiledKernel:
     """Compile ``program`` for the given format bindings.
 
     ``bindings`` maps matrix array names to format *instances*; the
     instances provide the index structure, the enumeration runtimes, and
     the statistics the cost model ranks candidates with.  ``param_values``
-    optionally supplies concrete sizes for better cost estimates.
+    optionally supplies concrete sizes for better cost estimates; when
+    omitted they are inferred per declared array dimension (see
+    :func:`infer_param_values`).
 
     ``pick`` is forwarded to the search ("best" / "first" / "worst" — the
     latter two exist for the ablation benchmarks).
+
+    ``cache`` selects the compilation-cache mode: ``"off"`` always re-runs
+    the search, ``"memory"`` memoizes per process, ``"disk"`` additionally
+    persists entries across processes.  ``None`` defers to the
+    ``REPRO_COMPILE_CACHE`` environment variable (default ``"memory"``).
     """
+    from repro.core import cache as cc
+
     validate_program(program)
     for name, fmt in bindings.items():
         decl = program.arrays.get(name)
@@ -117,14 +198,70 @@ def compile_kernel(
         if not isinstance(fmt, SparseFormat):
             raise TypeError(f"binding for {name!r} must be a SparseFormat instance")
     if param_values is None:
-        # default guesses from the bound instances: common size names
-        param_values = {}
-        for fmt in bindings.values():
-            param_values.setdefault("m", fmt.nrows)
-            param_values.setdefault("n", fmt.ncols)
-    deps = dependences(program)
-    result = search(program, bindings, deps, param_values, pick=pick,
+        param_values = infer_param_values(program, bindings)
+    param_values = {k: int(v) for k, v in param_values.items()}
+
+    mode = cc.resolve_mode(cache)
+    key = None
+    if mode != "off":
+        with INSTR.phase("cache.lookup"):
+            key = cc.structural_signature(program, bindings, param_values,
+                                          pick, max_orders, simplify_guards)
+            hit = cc.lookup(key, mode, bindings, param_values, pick)
+        if hit is not None:
+            result, entry, idx = hit
+            if simplify_guards and idx not in entry.simplified:
+                result.plan.simplify_guards(dict(param_values))
+                entry.simplified.add(idx)
+            return _kernel_from_entry(program, bindings, result, entry, idx,
+                                      mode, key)
+
+    result = search(program, bindings, None, param_values, pick=pick,
                     max_orders=max_orders)
+    entry = None
+    if mode != "off":
+        # record before guard simplification so the entry snapshots
+        # pristine guards (simplification mutates the selected plan)
+        entry = cc.record(key, mode, result, bindings, pick)
     if simplify_guards:
-        result.plan.simplify_guards(param_values)
-    return CompiledKernel(program, bindings, result)
+        result.plan.simplify_guards(dict(param_values))
+    kernel = CompiledKernel(program, bindings, result)
+    if entry is not None:
+        if simplify_guards:
+            entry.simplified.add(entry.selected_index)
+        kernel._cache_publish = _source_publisher(entry, entry.selected_index,
+                                                  mode, key)
+    return kernel
+
+
+def _kernel_from_entry(program, bindings, result, entry, idx, mode, key):
+    """Build a kernel from a cache hit, replaying memoized source."""
+    kernel = CompiledKernel(program, bindings, result)
+    src = entry.sources.get(idx)
+    if src is not None:
+        fn = entry.fns.get(idx)
+        if fn is None:
+            from repro.codegen.pysource import source_to_callable
+
+            fn = source_to_callable(src)
+            entry.fns[idx] = fn
+        kernel._pysource = src
+        kernel._pyfunc = fn
+        INSTR.count("cache.source_replays")
+    else:
+        kernel._cache_publish = _source_publisher(entry, idx, mode, key)
+    return kernel
+
+
+def _source_publisher(entry, idx, mode, key):
+    """Publish lazily-generated source back into a cache entry (and keep the
+    disk layer in step, so later processes replay byte-identical source)."""
+    from repro.core.cache import COMPILE_CACHE
+
+    def publish(src: str, fn) -> None:
+        entry.sources[idx] = src
+        entry.fns[idx] = fn
+        if mode == "disk":
+            COMPILE_CACHE.disk_put(key, entry)
+
+    return publish

@@ -31,6 +31,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.analysis.dependence import DependenceClass, DST, SRC
 from repro.analysis.reductions import reduction_array
 from repro.core.spaces import ProductDim, ProductSpace, StmtCopy
+from repro.instrument import INSTR
 from repro.polyhedra.lex import first_positive_dims, lex_nonneg
 from repro.polyhedra.linexpr import LinExpr
 from repro.polyhedra.system import System
@@ -178,33 +179,57 @@ def _emb_signature(embs: Sequence[DimEmbedding]) -> Tuple:
     )
 
 
-def _analyze_pair(dep, src_copy, dst_copy, emb, ndims):
-    """Walk one (class, copy pair): returns (legal, need_inc, need_dec,
-    reason).  Independent of the other copies' embeddings, so results are
-    cacheable across candidates."""
-    from repro.polyhedra.fm import is_feasible
+#: process-wide memo for :func:`_analyze_pair_core`, keyed by the *content*
+#: of the question (canonical polyhedron signature, delta vector, ndims) so
+#: identical legality/direction queries are answered once per process even
+#: across different searches/programs.  Bounded; cleared by
+#: :func:`clear_pair_memo`.
+_PAIR_MEMO: Dict[Tuple, Tuple] = {}
+_PAIR_MEMO_CAP = 1 << 16
+
+
+def clear_pair_memo() -> None:
+    _PAIR_MEMO.clear()
+
+
+def _analyze_pair_core(poly: System, deltas: Sequence[LinExpr], ndims: int):
+    """Walk one (polyhedron, delta vector): returns (legal, need_inc,
+    need_dec, reason).  Depends only on its arguments' content, so results
+    are memoized process-wide under a canonical key."""
+    from repro.polyhedra.fm import is_feasible, system_signature
     from repro.polyhedra.system import Constraint, EQ, GE
+
+    INSTR.count("pair.core_calls")
+    key = (system_signature(poly), tuple(deltas), ndims)
+    hit = _PAIR_MEMO.get(key)
+    if hit is not None:
+        INSTR.count("pair.memo_hits")
+        return hit
+
+    def _memo(result):
+        # freeze the direction sets: the memoized tuple is shared across
+        # callers and must never be mutated through a returned reference
+        result = (result[0], frozenset(result[1]), frozenset(result[2]), result[3])
+        if len(_PAIR_MEMO) >= _PAIR_MEMO_CAP:
+            _PAIR_MEMO.clear()
+        _PAIR_MEMO[key] = result
+        return result
 
     need_inc: Set[int] = set()
     need_dec: Set[int] = set()
-    poly = pair_polyhedron(dep, src_copy, dst_copy)
-    deltas = pair_deltas(emb, src_copy, dst_copy)
     prefix = poly
     if not is_feasible(prefix):
-        return True, need_inc, need_dec, ""
+        return _memo((True, need_inc, need_dec, ""))
     satisfied = False
     for pos, d in enumerate(deltas):
-        is_value = pos < 2 * ndims and pos % 2 == 1
         dim_idx = pos // 2
         if d.is_constant:
             if d.const > 0:
                 satisfied = True
                 break
             if d.const < 0:
-                return False, need_inc, need_dec, (
-                    f"{dep!r} between {src_copy.label}->{dst_copy.label}: "
-                    f"static component {pos} is negative"
-                )
+                return _memo((False, need_inc, need_dec,
+                              f"static component {pos} is negative"))
             continue
         if is_feasible(prefix.and_also(Constraint(d - 1, GE))):
             need_inc.add(dim_idx)
@@ -215,11 +240,22 @@ def _analyze_pair(dep, src_copy, dst_copy, emb, ndims):
             satisfied = True
             break
     if not satisfied and is_feasible(prefix):
-        return False, need_inc, need_dec, (
-            f"{dep!r} between {src_copy.label}->{dst_copy.label}: "
-            f"dependent instances map to the same point"
-        )
-    return True, need_inc, need_dec, ""
+        return _memo((False, need_inc, need_dec,
+                      "dependent instances map to the same point"))
+    return _memo((True, need_inc, need_dec, ""))
+
+
+def _analyze_pair(dep, src_copy, dst_copy, emb, ndims):
+    """Walk one (class, copy pair): returns (legal, need_inc, need_dec,
+    reason).  Independent of the other copies' embeddings, so results are
+    cacheable across candidates; delegates to the content-keyed
+    :func:`_analyze_pair_core` memo."""
+    poly = pair_polyhedron(dep, src_copy, dst_copy)
+    deltas = pair_deltas(emb, src_copy, dst_copy)
+    legal, need_inc, need_dec, reason = _analyze_pair_core(poly, deltas, ndims)
+    if reason:
+        reason = f"{dep!r} between {src_copy.label}->{dst_copy.label}: {reason}"
+    return legal, need_inc, need_dec, reason
 
 
 def analyze_order(
@@ -261,6 +297,8 @@ def analyze_order(
                 if hit is None:
                     hit = _analyze_pair(dep, src_copy, dst_copy, emb, ndims)
                     pair_cache[key] = hit
+                else:
+                    INSTR.count("pair.local_hits")
             else:
                 hit = _analyze_pair(dep, src_copy, dst_copy, emb, ndims)
             legal, inc, dec, reason = hit

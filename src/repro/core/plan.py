@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.embedding import AT, BEFORE, AFTER, DEC, INC, OrderAnalysis, SpaceEmbedding
 from repro.core.redundancy import DeterminacyTracker
 from repro.core.spaces import ProductDim, ProductSpace, SparseRef, StmtCopy
+from repro.instrument import INSTR
 from repro.polyhedra.linexpr import LinExpr
 from repro.polyhedra.system import System
 
@@ -359,6 +360,7 @@ def build_plan(
     """
     if not order.legal:
         raise PlanError(f"illegal embedding: {order.reason}")
+    INSTR.count("plan.build_calls")
 
     copies = {c.label: c for c in space.copies}
     trackers = {c.label: DeterminacyTracker(c) for c in space.copies}

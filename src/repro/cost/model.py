@@ -45,7 +45,19 @@ from repro.formats.views import BINARY, DIRECT, LINEAR, NOSEARCH
 
 def step_totals(fmt: SparseFormat, path_id: str) -> List[float]:
     """Total number of (key, state) pairs produced at each step of a path,
-    summed over all prefixes — e.g. CSR "rows": [m, nnz]."""
+    summed over all prefixes — e.g. CSR "rows": [m, nnz].
+
+    Memoized per format *instance* (instances are immutable once built), so
+    unknown formats pay the exact enumeration measurement once."""
+    cache: Dict[str, List[float]] = fmt.__dict__.setdefault("_step_totals_cache", {})
+    hit = cache.get(path_id)
+    if hit is None:
+        hit = _step_totals_uncached(fmt, path_id)
+        cache[path_id] = hit
+    return hit
+
+
+def _step_totals_uncached(fmt: SparseFormat, path_id: str) -> List[float]:
     name = fmt.format_name
     m, n = fmt.nrows, fmt.ncols
     nnz = max(1, fmt.nnz)
@@ -108,12 +120,20 @@ def _search_cost(fmt: SparseFormat, path_id: str, step: int, avg_width: float) -
     return cost
 
 
-def plan_cost(plan: Plan, param_values: Optional[Mapping[str, int]] = None) -> float:
-    """Estimated execution cost of a plan on the bound matrix instances."""
+def plan_cost(plan: Plan, param_values: Optional[Mapping[str, int]] = None,
+              fmts: Optional[Mapping[str, SparseFormat]] = None) -> float:
+    """Estimated execution cost of a plan on the bound matrix instances.
+
+    ``fmts`` optionally overrides the format instance consulted for each
+    array name (falling back to the instance baked into the plan's refs) —
+    the compilation cache uses this to re-rank a structurally-identical
+    cached plan against the statistics of a *new* matrix instance without
+    rebuilding the plan."""
     param_values = dict(param_values or {})
+    fmts = fmts or {}
 
     def fmt_of(ref):
-        return ref.fmt
+        return fmts.get(ref.array, ref.fmt)
 
     def loop_stats(method) -> Tuple[float, float, float]:
         """(trips per visit, per-trip enumeration cost, fixed per-visit cost)."""
@@ -158,7 +178,7 @@ def plan_cost(plan: Plan, param_values: Optional[Mapping[str, int]] = None) -> f
             search = 0.0
             for role in node.roles:
                 if role.role == SEARCH:
-                    fmt = role.ref.fmt
+                    fmt = fmt_of(role.ref)
                     totals = step_totals(fmt, role.ref.path.path_id)
                     outer = totals[role.step - 1] if role.step > 0 else 1.0
                     width = totals[role.step] / max(1.0, outer)

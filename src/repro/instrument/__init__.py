@@ -1,0 +1,113 @@
+"""Pipeline instrumentation: phase timers and counters for the compiler.
+
+Every stage of the enumerate-estimate-select pipeline (candidate
+generation, Fourier-Motzkin legality, plan lowering, cost ranking, code
+generation) and every cache layer (compilation cache, FM memo, pair-
+analysis memo) reports into one process-wide :class:`Instrumentation`
+registry.  Collection is always on — the counters are plain dictionary
+increments and the timers a pair of ``perf_counter`` calls per phase, so
+the overhead is negligible next to the exact-rational polyhedral work they
+measure.
+
+Set ``REPRO_TRACE=1`` in the environment to get a rendered report on
+interpreter exit (and ``repro.instrument.report()`` returns the same
+rendering on demand at any point).
+
+Counter namespaces used by the compiler:
+
+- ``search.*``          — driver-level candidate statistics
+- ``fm.*``              — Fourier-Motzkin eliminations and memo traffic
+- ``pair.*``            — per-(dependence, copy pair) legality memo
+- ``cache.*``           — compilation-cache hits/misses/invalidations
+- ``codegen.*``         — specialized Python source generation
+- ``plan.*``            — plan lowering
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Instrumentation:
+    """A process-wide registry of named counters and accumulated timers."""
+
+    __slots__ = ("counters", "timers")
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.timers: Dict[str, float] = {}
+
+    # -- counters ---------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def get(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    # -- timers -----------------------------------------------------------
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def time(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock time of the enclosed block under
+        ``name`` (re-entrant: nested phases with distinct names nest
+        naturally; the same name accumulates)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    # -- management -------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """A point-in-time copy ``{"counters": {...}, "timers": {...}}`` —
+        diff two snapshots to attribute work to one pipeline run."""
+        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.timers.clear()
+
+
+#: the process-wide registry every compiler stage reports into
+INSTR = Instrumentation()
+
+# convenience module-level aliases
+count = INSTR.count
+counter = INSTR.get
+add_time = INSTR.add_time
+phase = INSTR.phase
+snapshot = INSTR.snapshot
+reset = INSTR.reset
+
+
+def trace_enabled() -> bool:
+    """Is ``REPRO_TRACE`` set to a truthy value?"""
+    return os.environ.get("REPRO_TRACE", "").strip().lower() not in (
+        "", "0", "false", "off", "no",
+    )
+
+
+def report() -> str:
+    """Render the current counters and timers as an aligned text report."""
+    from repro.instrument.reporting import render_report
+
+    return render_report(INSTR)
+
+
+def _atexit_report() -> None:  # pragma: no cover - exercised via subprocess
+    if INSTR.counters or INSTR.timers:
+        print(report(), file=sys.stderr)
+
+
+if trace_enabled():  # pragma: no cover - exercised via subprocess
+    atexit.register(_atexit_report)

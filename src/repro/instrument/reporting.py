@@ -1,0 +1,52 @@
+"""Rendering of instrumentation registries as human-readable reports."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.instrument import Instrumentation
+
+
+def _format_seconds(s: float) -> str:
+    if s >= 1.0:
+        return f"{s:9.3f} s"
+    if s >= 1e-3:
+        return f"{s * 1e3:9.3f} ms"
+    return f"{s * 1e6:9.1f} us"
+
+
+def _grouped(names: List[str]) -> List[str]:
+    """Sort names by (namespace, name) so related counters sit together."""
+    return sorted(names, key=lambda n: (n.split(".", 1)[0], n))
+
+
+def render_report(instr: "Instrumentation") -> str:
+    """An aligned two-section report of all counters and timers."""
+    lines: List[str] = ["== repro pipeline instrumentation =="]
+    if instr.timers:
+        lines.append("-- phase timers --")
+        width = max(len(n) for n in instr.timers)
+        for name in _grouped(list(instr.timers)):
+            lines.append(f"  {name:<{width}s}  {_format_seconds(instr.timers[name])}")
+    if instr.counters:
+        lines.append("-- counters --")
+        width = max(len(n) for n in instr.counters)
+        for name in _grouped(list(instr.counters)):
+            lines.append(f"  {name:<{width}s}  {instr.counters[name]:>12d}")
+    if len(lines) == 1:
+        lines.append("  (no activity recorded)")
+    return "\n".join(lines)
+
+
+def compare_snapshots(before: Dict[str, Dict], after: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Per-key deltas between two :meth:`Instrumentation.snapshot` values;
+    keys with a zero delta are dropped."""
+    out: Dict[str, Dict] = {"counters": {}, "timers": {}}
+    for section in ("counters", "timers"):
+        b = before.get(section, {})
+        for name, value in after.get(section, {}).items():
+            delta = value - b.get(name, 0)
+            if delta:
+                out[section][name] = delta
+    return out

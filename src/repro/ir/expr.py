@@ -44,6 +44,10 @@ class AffExpr:
     def __setattr__(self, *a):
         raise AttributeError("AffExpr is immutable")
 
+    def __reduce__(self):
+        # pickle via the constructor (slot protocol would setattr on load)
+        return (AffExpr, (self.lin,))
+
     # -- queries --------------------------------------------------------
     def variables(self) -> Tuple[str, ...]:
         return self.lin.variables()

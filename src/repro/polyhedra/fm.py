@@ -19,20 +19,62 @@ Systems in this compiler are small (≈5–15 variables, tens of constraints),
 so the classic doubly-exponential worst case never bites; we still substitute
 through equalities first and drop duplicate constraints to keep intermediate
 systems tight.
+
+Because the compiler asks the same feasibility/projection questions over and
+over (every candidate embedding re-tests largely identical dependence
+polyhedra), :func:`is_feasible` and :func:`project` are memoized process-wide
+under a *canonical signature* of the system — the frozen set of its
+normalized constraints, which is order-insensitive and exact.  The memo is
+semantics-preserving (same question, same answer) and bounded; call
+:func:`clear_memos` to reset it (tests do).
 """
 
 from __future__ import annotations
 
 import itertools
 from fractions import Fraction
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.instrument import INSTR
 from repro.polyhedra.linexpr import LinExpr
 from repro.polyhedra.system import Constraint, System, GE, EQ
 
 Inf = float  # only +/- inf sentinels
 NEG_INF = float("-inf")
 POS_INF = float("inf")
+
+
+# ---------------------------------------------------------------------------
+# Process-wide memoization
+# ---------------------------------------------------------------------------
+
+#: cap per memo; on overflow the oldest half is dropped (insertion order)
+_MEMO_CAP = 1 << 17
+
+_FEASIBLE_MEMO: Dict[FrozenSet, bool] = {}
+_PROJECT_MEMO: Dict[Tuple[FrozenSet, FrozenSet], System] = {}
+
+
+def system_signature(system: System) -> FrozenSet:
+    """Canonical, order-insensitive signature of a constraint system.
+
+    Constraints are already normalized (integer coefficients, gcd 1, fixed
+    equality sign), so two systems denoting the same conjunction of
+    constraints — regardless of construction order — share a signature."""
+    return frozenset((c.kind, c.expr) for c in system.constraints)
+
+
+def _memo_put(memo: Dict, key, value) -> None:
+    if len(memo) >= _MEMO_CAP:
+        for k in list(itertools.islice(iter(memo), len(memo) // 2)):
+            del memo[k]
+    memo[key] = value
+
+
+def clear_memos() -> None:
+    """Drop the process-wide feasibility/projection memos."""
+    _FEASIBLE_MEMO.clear()
+    _PROJECT_MEMO.clear()
 
 
 def _solve_equality_for(c: Constraint, v: str) -> LinExpr:
@@ -47,6 +89,7 @@ def _solve_equality_for(c: Constraint, v: str) -> LinExpr:
 
 def eliminate_variable(system: System, v: str) -> System:
     """Project out variable ``v`` (exact rational projection)."""
+    INSTR.count("fm.eliminations")
     # Prefer substitution through an equality: no constraint blowup.
     for c in system.equalities():
         if c.expr.coeff(v) != 0:
@@ -96,28 +139,45 @@ def _elimination_order(system: System, keep: Sequence[str] = ()) -> List[str]:
 
 
 def project(system: System, keep: Sequence[str]) -> System:
-    """Project the polyhedron onto the ``keep`` variables."""
+    """Project the polyhedron onto the ``keep`` variables (memoized)."""
+    INSTR.count("fm.project.calls")
+    key = (system_signature(system), frozenset(keep))
+    hit = _PROJECT_MEMO.get(key)
+    if hit is not None:
+        INSTR.count("fm.project.memo_hits")
+        return hit
     cur = system
     while True:
         if cur.has_contradiction:
-            return cur
+            break
         todo = _elimination_order(cur, keep)
         if not todo:
-            return cur
+            break
         cur = eliminate_variable(cur, todo[0])
+    _memo_put(_PROJECT_MEMO, key, cur)
+    return cur
 
 
 def is_feasible(system: System) -> bool:
-    """Rational feasibility by full elimination."""
+    """Rational feasibility by full elimination (memoized)."""
+    INSTR.count("fm.feasible.calls")
+    key = system_signature(system)
+    hit = _FEASIBLE_MEMO.get(key)
+    if hit is not None:
+        INSTR.count("fm.feasible.memo_hits")
+        return hit
+    result = True
     cur = system
     while True:
         if cur.has_contradiction:
-            return False
-        remaining = cur.variables()
-        if not remaining:
-            return True
+            result = False
+            break
+        if not cur.variables():
+            break
         order = _elimination_order(cur)
         cur = eliminate_variable(cur, order[0])
+    _memo_put(_FEASIBLE_MEMO, key, result)
+    return result
 
 
 def bounds_of(system: System, expr: LinExpr) -> Tuple[Union[Fraction, Inf], Union[Fraction, Inf]]:

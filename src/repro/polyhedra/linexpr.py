@@ -42,6 +42,11 @@ class LinExpr:
     def __setattr__(self, *a):  # immutability
         raise AttributeError("LinExpr is immutable")
 
+    def __reduce__(self):
+        # pickle via the constructor: the default slot protocol would
+        # setattr() on load, which immutability forbids
+        return (LinExpr, (self.coeffs, self.const))
+
     # -- constructors ----------------------------------------------------
     @staticmethod
     def variable(name: str) -> "LinExpr":

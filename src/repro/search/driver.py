@@ -13,23 +13,49 @@ from repro.core.plan import Plan, PlanError, build_plan
 from repro.core.spaces import StmtCopy
 from repro.cost.model import plan_cost
 from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
 from repro.ir.program import Program
 from repro.polyhedra.linexpr import LinExpr
 from repro.search.candidates import Candidate, generate_candidates
 
 
 class SearchStats:
-    """Bookkeeping the benchmarks report (search-space table)."""
+    """Bookkeeping the benchmarks report (search-space table).
+
+    Beyond the candidate funnel (generated → legal → lowered) this carries
+    the per-search instrumentation deltas: phase timings (seconds) and the
+    Fourier–Motzkin / pair-memo counter movement attributable to this
+    search, plus cache provenance (``from_cache``/``reranked``) filled in
+    by the compilation cache when it serves a memoized result."""
 
     def __init__(self):
         self.generated = 0
         self.legal = 0
         self.lowered = 0
         self.costs: List[float] = []
+        self.timings: Dict[str, float] = {}
+        self.fm_eliminations = 0
+        self.pair_cache_hits = 0
+        self.from_cache = False
+        self.reranked = False
+
+    def clone(self) -> "SearchStats":
+        out = SearchStats()
+        out.generated = self.generated
+        out.legal = self.legal
+        out.lowered = self.lowered
+        out.costs = list(self.costs)
+        out.timings = dict(self.timings)
+        out.fm_eliminations = self.fm_eliminations
+        out.pair_cache_hits = self.pair_cache_hits
+        out.from_cache = self.from_cache
+        out.reranked = self.reranked
+        return out
 
     def __repr__(self):
+        extra = ", from_cache=True" if self.from_cache else ""
         return (f"SearchStats(generated={self.generated}, legal={self.legal}, "
-                f"lowered={self.lowered})")
+                f"lowered={self.lowered}{extra})")
 
 
 class SearchResult:
@@ -69,39 +95,62 @@ def search(
     "worst" (highest — the cost-model ablation), or "first" (first legal,
     ignoring the cost model).
     """
-    if deps is None:
-        deps = dependences(program)
-    stats = SearchStats()
-    lowered: List[Tuple[float, Candidate, Plan]] = []
-    pair_cache: Dict = {}
+    before = INSTR.snapshot()
+    with INSTR.phase("search.total"):
+        if deps is None:
+            with INSTR.phase("search.dependences"):
+                deps = dependences(program)
+        stats = SearchStats()
+        lowered: List[Tuple[float, Candidate, Plan]] = []
+        pair_cache: Dict = {}
 
-    for cand in generate_candidates(program, bindings, deps, max_orders=max_orders):
-        stats.generated += 1
-        order = analyze_order(cand.emb, deps, pair_cache=pair_cache)
-        if not order.legal:
-            continue
-        stats.legal += 1
-        bounds = copy_var_bounds(cand.space.copies)
-        try:
-            plan = build_plan(cand.space, cand.emb, order, bounds,
-                              dict(param_values or {}))
-        except PlanError:
-            continue
-        stats.lowered += 1
-        cost = plan_cost(plan, param_values)
-        stats.costs.append(cost)
-        lowered.append((cost, cand, plan))
-        if pick == "first":
-            break
+        for cand in generate_candidates(program, bindings, deps, max_orders=max_orders):
+            stats.generated += 1
+            INSTR.count("search.candidates.generated")
+            with INSTR.phase("search.legality"):
+                order = analyze_order(cand.emb, deps, pair_cache=pair_cache)
+            if not order.legal:
+                continue
+            stats.legal += 1
+            INSTR.count("search.candidates.legal")
+            bounds = copy_var_bounds(cand.space.copies)
+            try:
+                with INSTR.phase("search.lowering"):
+                    plan = build_plan(cand.space, cand.emb, order, bounds,
+                                      dict(param_values or {}))
+            except PlanError:
+                continue
+            stats.lowered += 1
+            INSTR.count("search.candidates.lowered")
+            with INSTR.phase("search.costing"):
+                cost = plan_cost(plan, param_values)
+            stats.costs.append(cost)
+            lowered.append((cost, cand, plan))
+            if pick == "first":
+                break
 
-    if not lowered:
-        raise PlanError(
-            f"no legal plan found for {program.name} with bindings "
-            f"{ {k: v.format_name for k, v in bindings.items()} }"
-        )
-    lowered.sort(key=lambda t: t[0])
-    if pick == "worst":
-        cost, cand, plan = lowered[-1]
-    else:
-        cost, cand, plan = lowered[0]
+        if not lowered:
+            raise PlanError(
+                f"no legal plan found for {program.name} with bindings "
+                f"{ {k: v.format_name for k, v in bindings.items()} }"
+            )
+        lowered.sort(key=lambda t: t[0])
+        if pick == "worst":
+            cost, cand, plan = lowered[-1]
+        else:
+            cost, cand, plan = lowered[0]
+    after = INSTR.snapshot()
+    delta_counts = {
+        k: after["counters"].get(k, 0) - before["counters"].get(k, 0)
+        for k in after["counters"]
+    }
+    stats.fm_eliminations = delta_counts.get("fm.eliminations", 0)
+    stats.pair_cache_hits = (delta_counts.get("pair.local_hits", 0)
+                             + delta_counts.get("pair.memo_hits", 0))
+    stats.timings = {
+        k: after["timers"].get(k, 0.0) - before["timers"].get(k, 0.0)
+        for k in after["timers"]
+        if k.startswith("search.")
+        and after["timers"].get(k, 0.0) - before["timers"].get(k, 0.0) > 0.0
+    }
     return SearchResult(plan, cost, cand, stats, lowered)

@@ -15,7 +15,12 @@ from typing import Callable, Tuple
 def best_of(fn: Callable[[], object], repeats: int = 5, min_time: float = 0.01) -> float:
     """Return the best wall-clock time (seconds) of ``repeats`` runs of
     ``fn``, auto-batching very fast calls so each sample lasts at least
-    ``min_time`` seconds."""
+    ``min_time`` seconds.
+
+    The calibration pass includes the very first (cold: imports, lazy
+    codegen, cache warm-up) call, so its time is discarded whenever we can
+    afford to (``repeats > 1``) and ``repeats`` fresh samples are taken
+    instead."""
     # calibrate batch size
     batch = 1
     while True:
@@ -26,8 +31,13 @@ def best_of(fn: Callable[[], object], repeats: int = 5, min_time: float = 0.01) 
         if dt >= min_time or batch >= 1 << 20:
             break
         batch *= 2
-    best = dt / batch
-    for _ in range(repeats - 1):
+    if repeats > 1:
+        best = float("inf")   # calibration sample (cold start) discarded
+        samples = repeats
+    else:
+        best = dt / batch
+        samples = 0
+    for _ in range(samples):
         t0 = time.perf_counter()
         for _ in range(batch):
             fn()

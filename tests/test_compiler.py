@@ -239,3 +239,92 @@ class TestCompilerApi:
         fmt = as_format(rect, "csr")
         k = compile_cached("mvm", "csr", fmt, "A")
         assert "mvm" in repr(k) and "csr" in repr(k)
+
+
+class TestParamInference:
+    """Default ``param_values`` are derived per declared array dimension
+    (not from whichever binding happens to iterate first)."""
+
+    def test_single_matrix_mvm(self):
+        from repro.core.compiler import infer_param_values
+        from repro.ir.kernels import mvm
+
+        fmt = as_format(random_sparse(6, 8, 0.3, seed=1), "csr")
+        pv = infer_param_values(mvm(), {"A": fmt})
+        assert pv == {"m": 6, "n": 8}
+
+    def test_transposed_access(self):
+        """A program reading A[j][i] with i: 0..m, j: 0..n pins n to the
+        row count and m to the column count; the legacy first-binding
+        heuristic (m=rows, n=cols always) got this wrong for rectangular
+        matrices."""
+        from repro.core.compiler import infer_param_values
+        from repro.ir.parser import parse_program
+
+        prog = parse_program(
+            """
+            tmvm(m, n; A: matrix, x: vector, y: vector) {
+                for i = 0 : m {
+                    y[i] = 0;
+                    for j = 0 : n {
+                        y[i] = y[i] + A[j][i] * x[j];
+                    }
+                }
+            }
+            """
+        )
+        fmt = as_format(random_sparse(6, 8, 0.3, seed=1), "csr")
+        pv = infer_param_values(prog, {"A": fmt})
+        assert pv["n"] == 6 and pv["m"] == 8
+
+    def test_conflicting_shapes_raise(self):
+        """Two bindings implying different values for one parameter is a
+        real shape mismatch and must not be guessed over silently."""
+        from repro.ir.kernels import add_mvm
+
+        A = as_format(random_sparse(6, 8, 0.3, seed=1), "csr")
+        B = as_format(random_sparse(6, 5, 0.3, seed=2), "csr")
+        with pytest.raises(ValueError, match="conflicting"):
+            compile_kernel(add_mvm(), {"A": A, "B": B}, cache="off")
+
+    def test_multi_matrix_consistent_shapes(self):
+        from repro.core.compiler import infer_param_values
+        from repro.ir.kernels import add_mvm
+
+        A = as_format(random_sparse(6, 8, 0.3, seed=1), "csr")
+        B = as_format(random_sparse(6, 8, 0.3, seed=2), "csc")
+        pv = infer_param_values(add_mvm(), {"A": A, "B": B})
+        assert pv == {"m": 6, "n": 8}
+
+    def test_explicit_param_values_bypass_inference(self):
+        from repro.ir.kernels import add_mvm
+
+        A = as_format(random_sparse(6, 8, 0.3, seed=1), "csr")
+        B = as_format(random_sparse(6, 5, 0.3, seed=2), "csr")
+        # conflicting shapes, but explicit sizes silence the inference
+        k = compile_kernel(add_mvm(), {"A": A, "B": B},
+                           param_values={"m": 6, "n": 8}, cache="off")
+        assert k.plan is not None
+
+    def test_square_diag_extract_still_infers(self):
+        from repro.core.compiler import infer_param_values
+        from repro.ir.kernels import diag_extract
+
+        fmt = as_format(random_sparse(6, 6, 0.4, seed=3), "csr")
+        pv = infer_param_values(diag_extract(), {"A": fmt})
+        assert pv["n"] == 6
+
+
+class TestRunCallParity:
+    def test_numpy_integer_params_accepted_by_run(self, rect):
+        """run() must coerce params exactly like __call__ does."""
+        fmt = as_format(rect, "csr")
+        k = compile_cached("mvm", "csr", fmt, "A")
+        x = np.random.default_rng(1).random(8)
+        y_run = np.zeros(6)
+        y_call = np.zeros(6)
+        params = {"m": np.int64(6), "n": np.int64(8)}
+        k.run({"A": fmt, "x": x, "y": y_run}, params)
+        k({"A": fmt, "x": x, "y": y_call}, dict(params))
+        assert np.allclose(y_run, fmt.to_dense() @ x)
+        assert np.allclose(y_run, y_call)

@@ -26,6 +26,7 @@ def mats():
     return Ad, Bd
 
 
+@pytest.mark.slow
 class TestAddMvm:
     @pytest.mark.parametrize("fa,fb", [("csr", "csc"), ("coo", "dia")])
     def test_mixed_formats(self, fa, fb, mats):

@@ -99,6 +99,7 @@ class TestMvmPlans:
         execs = [n for _, n in pairs if isinstance(n, ExecNode)]
         assert {e.copy.label for e in execs} == {"S1", "S2"}
 
+    @pytest.mark.slow
     def test_msr_search_for_determined_dim(self, small_square):
         """The diagonal branch of MSR MVM looks its element up instead of
         scanning — the paper's redundant-dimension search."""

@@ -65,6 +65,7 @@ class TestStorage:
         assert mirror.subs["c"].variables() == ("rr",)
 
 
+@pytest.mark.slow
 class TestCompiled:
     def test_mvm_both_backends(self, sym_pair, rng):
         S, D = sym_pair

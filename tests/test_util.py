@@ -71,3 +71,28 @@ class TestValidation:
             require_positive(0, "n")
         with pytest.raises(TypeError):
             require_positive(1.5, "n")
+
+
+class TestBestOfCalibration:
+    def test_cold_first_call_discarded(self):
+        """The calibration pass includes the cold first call; with
+        repeats > 1 that sample must not win."""
+        state = {"first": True}
+
+        def fn():
+            if state["first"]:
+                state["first"] = False      # cold call: instantaneous
+            else:
+                time.sleep(0.002)           # steady state: ~2ms
+
+        t = best_of(fn, repeats=2, min_time=0.0001)
+        assert t >= 0.0015                  # old code reported ~0 here
+
+    def test_single_repeat_keeps_calibration_sample(self):
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+
+        best_of(fn, repeats=1, min_time=0.0)
+        assert calls["n"] == 1              # repeats=1: calibration is the sample
