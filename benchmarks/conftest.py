@@ -7,6 +7,8 @@ paper's size).
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 
 import numpy as np
@@ -58,6 +60,47 @@ def rng():
     return np.random.default_rng(1072)
 
 
-def report(label: str, seconds: float, flops: int) -> None:
+#: repo root — BENCH_*.json trajectory files live next to README.md
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def record_bench(bench_file: str, label: str, seconds: float,
+                 flops: int = 0, **extra) -> None:
+    """Append one timing entry to a ``BENCH_*.json`` trajectory file.
+
+    The file holds a JSON list of run records; each benchmark run appends
+    so the perf trajectory accumulates across sessions.  A missing or
+    corrupt file restarts the list rather than failing the benchmark.
+    """
+    path = os.path.join(_REPO_ROOT, bench_file)
+    entries = []
+    try:
+        with open(path) as f:
+            entries = json.load(f)
+        if not isinstance(entries, list):
+            entries = []
+    except (OSError, ValueError):
+        entries = []
+    rec = {
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "label": label,
+        "seconds": seconds,
+        "n": BENCH_N,
+    }
+    if flops:
+        rec["flops"] = flops
+        rec["mflops"] = flops / seconds / 1e6 if seconds > 0 else None
+    rec.update(extra)
+    entries.append(rec)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(entries, f, indent=1)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def report(label: str, seconds: float, flops: int,
+           bench_file: str = "BENCH_kernels.json", **extra) -> None:
     mflops = flops / seconds / 1e6 if seconds > 0 else float("inf")
     print(f"\n    [{label}] {seconds * 1e3:9.2f} ms   {mflops:8.2f} MFLOPS")
+    record_bench(bench_file, label, seconds, flops, **extra)

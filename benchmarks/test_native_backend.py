@@ -1,0 +1,139 @@
+"""Python vs C vs C+OpenMP on MVM and triangular solve (CSR and JAD).
+
+The acceptance bar: the C backend is >= 10x faster than the specialized
+Python kernel on CSR MVM at n ~ 10k, and the OpenMP strict-DOALL variant
+is no slower than single-threaded C (modulo runtime startup noise).
+Results append to BENCH_native.json at the repo root.
+
+Set REPRO_NATIVE_BENCH_N to shrink the operand for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record_bench
+from repro.core import NativeBackendWarning, compile_kernel
+from repro.core import backend as be
+from repro.formats import as_format
+from repro.formats.generate import can_1072_like, lower_triangular_of
+from repro.ir.kernels import ALL_KERNELS
+
+NATIVE_N = int(os.environ.get("REPRO_NATIVE_BENCH_N", "10000"))
+
+pytestmark = pytest.mark.skipif(
+    be.find_compiler() is None,
+    reason="native benchmark needs a C compiler")
+
+_cache = {}
+
+
+def _matrix(kind):
+    if kind not in _cache:
+        target = int(12444 * (NATIVE_N / 1072) ** 1.15)
+        m = can_1072_like(n=NATIVE_N, target_nnz=target)
+        _cache["square"] = m
+        _cache["lower"] = lower_triangular_of(m)
+    return _cache[kind]
+
+
+def _compiled(kernel_name, fmt_name, kind, array_name, **kwargs):
+    key = (kernel_name, fmt_name, kind, tuple(sorted(kwargs.items())))
+    if key not in _cache:
+        fmt = as_format(_matrix(kind), fmt_name)
+        prog = ALL_KERNELS[kernel_name]()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", NativeBackendWarning)
+            k = compile_kernel(prog, {array_name: fmt}, **kwargs)
+        _cache[key] = (k, fmt)
+    return _cache[key]
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_variants(kernel_name, fmt_name, kind, array_name, arrays_of,
+                   py_repeats=3, c_repeats=10):
+    """Best-of timings {variant: seconds} for python / c / c+openmp."""
+    out = {}
+    variants = [("python", {}),
+                ("c", {"backend": "c"}),
+                ("c+openmp", {"backend": "c", "parallel": "strict"})]
+    for label, kw in variants:
+        k, fmt = _compiled(kernel_name, fmt_name, kind, array_name, **kw)
+        if kw and k.backend_used == "python":
+            pytest.skip(f"native path unavailable: {k.fallback_reason}")
+        arrays = arrays_of(fmt)
+        params = {"m": NATIVE_N, "n": NATIVE_N}
+        k(arrays, params)  # warm up: triggers codegen / cc outside timing
+        repeats = py_repeats if label == "python" else c_repeats
+        out[label] = _best_of(lambda: k(arrays, params), repeats)
+        record_bench("BENCH_native.json", f"{kernel_name}/{fmt_name}",
+                     out[label], n=NATIVE_N, backend=label,
+                     backend_used=k.backend_used)
+    return out
+
+
+def _report(name, t):
+    speed = t["python"] / t["c"] if t["c"] > 0 else float("inf")
+    print(f"\n  [{name}] python {t['python'] * 1e3:9.2f} ms"
+          f"   c {t['c'] * 1e3:7.3f} ms"
+          f"   c+omp {t['c+openmp'] * 1e3:7.3f} ms"
+          f"   ({speed:6.1f}x)")
+
+
+def _omp_no_slower(t):
+    # identical code modulo pragmas; allow scheduling noise + an
+    # absolute floor so sub-ms kernels don't flake
+    assert t["c+openmp"] <= t["c"] * 1.5 + 5e-4
+
+
+class TestMVM:
+    @staticmethod
+    def _arrays(fmt):
+        x = np.random.default_rng(3).random(NATIVE_N)
+        return lambda f: {"A": f, "x": x, "y": np.zeros(NATIVE_N)}
+
+    def test_csr(self):
+        t = _time_variants("mvm", "csr", "square", "A", self._arrays(None))
+        _report("mvm/csr", t)
+        # the acceptance bar: >= 10x over the Python kernel at n ~ 10k
+        if NATIVE_N >= 5000:
+            assert t["python"] >= 10 * t["c"]
+        _omp_no_slower(t)
+
+    def test_jad(self):
+        t = _time_variants("mvm", "jad", "square", "A", self._arrays(None))
+        _report("mvm/jad", t)
+        assert t["c"] < t["python"]
+        _omp_no_slower(t)
+
+
+class TestTriangularSolve:
+    @staticmethod
+    def _arrays(fmt):
+        b = np.random.default_rng(5).random(NATIVE_N)
+        return lambda f: {"L": f, "b": b.copy()}
+
+    def test_csr(self):
+        t = _time_variants("ts_lower", "csr", "lower", "L", self._arrays(None))
+        _report("ts/csr", t)
+        assert t["c"] < t["python"]
+        _omp_no_slower(t)
+
+    def test_jad(self):
+        t = _time_variants("ts_lower", "jad", "lower", "L", self._arrays(None))
+        _report("ts/jad", t)
+        assert t["c"] < t["python"]
+        _omp_no_slower(t)

@@ -34,8 +34,13 @@ class _CRenderer(ast.NodeVisitor):
             op = {"USub": "-", "Not": "!"}[type(node.op).__name__]
             return f"{op}{self.expr(node.operand)}"
         if isinstance(node, ast.BinOp):
+            if isinstance(node.op, ast.FloorDiv):
+                # Python // floors; C / truncates toward zero.  They
+                # disagree for negative operands, so render an explicit
+                # floor-division helper rather than a bare "/".
+                return f"_fdiv({self.expr(node.left)}, {self.expr(node.right)})"
             op = {"Add": "+", "Sub": "-", "Mult": "*", "Div": "/",
-                  "FloorDiv": "/", "Mod": "%"}[type(node.op).__name__]
+                  "Mod": "%"}[type(node.op).__name__]
             return f"({self.expr(node.left)} {op} {self.expr(node.right)})"
         if isinstance(node, ast.Compare):
             parts = [self.expr(node.left)]
@@ -143,7 +148,11 @@ def python_to_c_like(py_source: str) -> str:
             r.emit("}")
         elif isinstance(node, ast.FunctionDef):
             r.emit(f"static int {node.name}(...);   /* search helper */")
-    return "\n".join(r.lines)
+    out = "\n".join(r.lines)
+    if "_fdiv(" in out:
+        out = ("static long _fdiv(long a, long b);"
+               "   /* floor division (Python //) */\n" + out)
+    return out
 
 
 def plan_to_c_like(plan: Plan) -> str:

@@ -1,0 +1,797 @@
+"""Native C99 lowering of generated kernels.
+
+The specialized Python backend (:mod:`repro.codegen.pysource`) emits a
+small loop-and-assignment subset of Python; this module parses that subset
+with :mod:`ast` and lowers it to standalone C99 — typed pointer arguments
+for the numpy arrays (``int32_t``/``int64_t`` index arrays, ``double``
+values), ``int64_t`` scalars, row-major stride arguments for
+multi-dimensional arrays, and specialized static helper functions for the
+inlined binary searches.  The result is the real compiled analog of the
+paper's Figure 9 instantiation: the same raw index-array loops a
+hand-written NIST library kernel contains, handed to the system C
+compiler (:mod:`repro.core.backend`).
+
+Floor division is lowered through ``_fdiv`` (floor-correct for negative
+operands — C ``/`` truncates toward zero, Python ``//`` floors), and
+``%`` appears only in ``== 0`` divisibility guards, where C and Python
+agree on zero-ness.
+
+Parallelism: :func:`lower_kernel` consults
+:class:`repro.core.parallel.ParallelReport` and marks strict-DOALL loops
+with ``#pragma omp parallel for``; under the ``atomic`` flavour,
+reduction loops whose every store is a read-modify-write accumulation get
+the pragma plus ``#pragma omp atomic`` on each accumulation.  Loops the
+analysis cannot safely align with the emitted source stay sequential.
+
+Constructs the C subset cannot express (gather-and-sort enumerations,
+the generic dynamic-runtime emitter, unsupported dtypes) raise
+:class:`NativeLoweringError`; the backend treats that as "fall back to
+the Python kernel", never as a hard failure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.plan import (
+    LoopNode,
+    Plan,
+    PlanNode,
+    SearchEnum,
+    SortedEnum,
+    VarLoopNode,
+)
+
+
+class NativeLoweringError(RuntimeError):
+    """The generated kernel uses a construct the C backend cannot express."""
+
+
+#: numpy dtype name -> C type of the element
+_CTYPES = {
+    "int32": "int32_t",
+    "int64": "int64_t",
+    "float32": "float",
+    "float64": "double",
+}
+
+#: short dtype tags used to specialize helper functions
+_TAGS = {"int32": "i32", "int64": "i64", "float32": "f32", "float64": "f64"}
+
+
+class ArgSpec:
+    """One C function argument: how to load its value from the Python-side
+    ``(arrays, params)`` call and how it is typed in C.
+
+    ``kind`` is ``"scalar"`` (an ``int64_t``) or ``"array"`` (a typed
+    pointer, followed in the signature by ``ndim - 1`` row-major stride
+    arguments and, when ``need_len`` is set, the length of dimension 0).
+    """
+
+    __slots__ = ("cname", "kind", "dtype", "ndim", "loader", "written",
+                 "need_len")
+
+    def __init__(self, cname: str, kind: str,
+                 loader: Callable[[Mapping, Mapping], object],
+                 dtype: Optional[str] = None, ndim: int = 1):
+        self.cname = cname
+        self.kind = kind
+        self.loader = loader
+        self.dtype = dtype
+        self.ndim = ndim
+        self.written = False
+        self.need_len = False
+
+    def __repr__(self):
+        return (f"ArgSpec({self.cname}, {self.kind}, dtype={self.dtype}, "
+                f"ndim={self.ndim}, written={self.written})")
+
+
+class NativeSpec:
+    """A lowered kernel: the C translation unit, the ordered argument
+    specs, and whether any OpenMP pragma was emitted."""
+
+    __slots__ = ("c_source", "args", "uses_openmp", "flavour")
+
+    def __init__(self, c_source: str, args: List[ArgSpec], uses_openmp: bool,
+                 flavour: str):
+        self.c_source = c_source
+        self.args = args
+        self.uses_openmp = uses_openmp
+        self.flavour = flavour
+
+
+# ---------------------------------------------------------------------------
+# Helper-function templates, specialized per element type
+# ---------------------------------------------------------------------------
+
+def _helper_fdiv() -> str:
+    return (
+        "static inline int64_t _fdiv(int64_t a, int64_t b) {\n"
+        "    int64_t q = a / b;\n"
+        "    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;\n"
+        "    return q;\n"
+        "}\n"
+    )
+
+
+def _helper_minmax() -> str:
+    return (
+        "static inline int64_t _imax(int64_t a, int64_t b) "
+        "{ return a > b ? a : b; }\n"
+        "static inline int64_t _imin(int64_t a, int64_t b) "
+        "{ return a < b ? a : b; }\n"
+    )
+
+
+def _helper_bisect(t: str) -> str:
+    T = _CTYPES[t]
+    return (
+        f"static int64_t _bisect_{_TAGS[t]}(const {T} *arr, int64_t key, "
+        "int64_t lo, int64_t hi) {\n"
+        "    while (lo < hi) {\n"
+        "        int64_t mid = (lo + hi) / 2;\n"
+        f"        int64_t v = (int64_t)arr[mid];\n"
+        "        if (v == key) return mid;\n"
+        "        if (v < key) lo = mid + 1; else hi = mid;\n"
+        "    }\n"
+        "    return -1;\n"
+        "}\n"
+    )
+
+
+def _helper_coo_find(tr: str, tc: str) -> str:
+    return (
+        f"static int64_t _coo_find_{_TAGS[tr]}_{_TAGS[tc]}("
+        f"const {_CTYPES[tr]} *rows, int64_t n, const {_CTYPES[tc]} *cols, "
+        "int64_t r, int64_t c) {\n"
+        "    for (int64_t k = 0; k < n; k++)\n"
+        "        if ((int64_t)rows[k] == r && (int64_t)cols[k] == c) return k;\n"
+        "    return -1;\n"
+        "}\n"
+    )
+
+
+def _helper_ell_find(tc: str, tl: str) -> str:
+    return (
+        f"static int64_t _ell_find_{_TAGS[tc]}_{_TAGS[tl]}("
+        f"const {_CTYPES[tc]} *colind, int64_t s0, const {_CTYPES[tl]} *rowlen, "
+        "int64_t r, int64_t c) {\n"
+        "    int64_t lo = 0, hi = (int64_t)rowlen[r];\n"
+        "    while (lo < hi) {\n"
+        "        int64_t mid = (lo + hi) / 2;\n"
+        "        int64_t v = (int64_t)colind[r * s0 + mid];\n"
+        "        if (v == c) return mid;\n"
+        "        if (v < c) lo = mid + 1; else hi = mid;\n"
+        "    }\n"
+        "    return -1;\n"
+        "}\n"
+    )
+
+
+def _helper_jad_row_find(td: str, tc: str, tr: str) -> str:
+    return (
+        f"static int64_t _jad_row_find_{_TAGS[td]}_{_TAGS[tc]}_{_TAGS[tr]}("
+        f"const {_CTYPES[td]} *dptr, const {_CTYPES[tc]} *colind, "
+        f"const {_CTYPES[tr]} *rowcnt, int64_t rr, int64_t c) {{\n"
+        "    int64_t lo = 0, hi = (int64_t)rowcnt[rr];\n"
+        "    while (lo < hi) {\n"
+        "        int64_t mid = (lo + hi) / 2;\n"
+        "        int64_t jj = (int64_t)dptr[mid] + rr;\n"
+        "        int64_t v = (int64_t)colind[jj];\n"
+        "        if (v == c) return jj;\n"
+        "        if (v < c) lo = mid + 1; else hi = mid;\n"
+        "    }\n"
+        "    return -1;\n"
+        "}\n"
+    )
+
+
+def _helper_jad_find(ti: str, td: str, tc: str, tr: str) -> str:
+    inner = f"_jad_row_find_{_TAGS[td]}_{_TAGS[tc]}_{_TAGS[tr]}"
+    return (
+        f"static int64_t _jad_find_{_TAGS[ti]}_{_TAGS[td]}_{_TAGS[tc]}_{_TAGS[tr]}("
+        f"const {_CTYPES[ti]} *ipermi, int64_t n, const {_CTYPES[td]} *dptr, "
+        f"const {_CTYPES[tc]} *colind, const {_CTYPES[tr]} *rowcnt, "
+        "int64_t r, int64_t c) {\n"
+        "    if (r < 0 || r >= n) return -1;\n"
+        f"    return {inner}(dptr, colind, rowcnt, (int64_t)ipermi[r], c);\n"
+        "}\n"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+class _Lowerer:
+    def __init__(self, py_source: str, bindings: Mapping[str, object],
+                 flavour: str, loop_flags: Optional[List[str]]):
+        self.bindings = dict(bindings)
+        self.flavour = flavour
+        self.loop_flags = loop_flags
+        self.args: List[ArgSpec] = []
+        self.arrays: Dict[str, ArgSpec] = {}
+        self.scalars: Dict[str, ArgSpec] = {}
+        self.helpers: Dict[str, str] = {}       # fn name -> definition text
+        self.lines: List[str] = []
+        self.indent = 1
+        self.declared: set = set()
+        self.for_index = 0
+        self.parallel_depth = 0
+        self.atomic_region = False
+        self.uses_openmp = False
+
+        tree = ast.parse(py_source)
+        fndef = next(
+            (n for n in tree.body
+             if isinstance(n, ast.FunctionDef) and n.name == "kernel"), None)
+        if fndef is None:
+            raise NativeLoweringError("no kernel function in generated source")
+        self.body = self._parse_prologue(fndef.body)
+        self._infer_dense_shapes(self.body)
+        n_fors = sum(1 for _ in ast.walk(ast.Module(body=self.body,
+                                                    type_ignores=[]))
+                     if isinstance(_, ast.For))
+        if self.loop_flags is not None and len(self.loop_flags) != n_fors:
+            # the plan's loop nodes don't align with the emitted loops
+            # (auxiliary loops present); stay sequential rather than
+            # mislabel a loop as parallel
+            self.loop_flags = None
+
+    # -- prologue ---------------------------------------------------------
+
+    def _parse_prologue(self, stmts: Sequence[ast.stmt]) -> List[ast.stmt]:
+        srcs: Dict[str, str] = {}
+        i = 0
+        for i, st in enumerate(stmts):
+            if not (isinstance(st, ast.Assign) and len(st.targets) == 1
+                    and isinstance(st.targets[0], ast.Name)):
+                break
+            target = st.targets[0].id
+            v = st.value
+            if (isinstance(v, ast.Subscript) and isinstance(v.value, ast.Name)
+                    and v.value.id in ("params", "arrays")
+                    and isinstance(v.slice, ast.Constant)):
+                key = v.slice.value
+                if v.value.id == "params":
+                    self._add_scalar(target, _param_loader(key))
+                elif target.startswith("_src_"):
+                    srcs[target] = key
+                else:
+                    self._add_dense(target, key)
+                continue
+            if (isinstance(v, ast.Attribute) and isinstance(v.value, ast.Name)
+                    and v.value.id in srcs):
+                if v.attr == "runtime":
+                    raise NativeLoweringError("generic runtime emitter")
+                self._add_attr(target, srcs[v.value.id], v.attr)
+                continue
+            if (isinstance(v, ast.Call) and isinstance(v.func, ast.Name)
+                    and v.func.id == "len" and len(v.args) == 1
+                    and isinstance(v.args[0], ast.Attribute)
+                    and isinstance(v.args[0].value, ast.Name)
+                    and v.args[0].value.id in srcs):
+                key, attr = srcs[v.args[0].value.id], v.args[0].attr
+                self._add_scalar(target, _len_loader(key, attr))
+                continue
+            if (isinstance(v, ast.Call) and isinstance(v.func, ast.Attribute)
+                    and isinstance(v.func.value, ast.Name)
+                    and v.func.value.id in srcs):
+                raise NativeLoweringError(
+                    f"dynamic format call {v.func.attr!r} (generic emitter)")
+            break
+        else:
+            i = len(stmts)
+        return list(stmts[i:])
+
+    def _add_scalar(self, name: str, loader) -> None:
+        spec = ArgSpec(name, "scalar", loader)
+        self.args.append(spec)
+        self.scalars[name] = spec
+
+    def _add_dense(self, name: str, key: str) -> None:
+        # dtype/ndim resolved from usage later; dense data is float64
+        spec = ArgSpec(name, "array", _array_loader(key), "float64", ndim=-1)
+        self.args.append(spec)
+        self.arrays[name] = spec
+
+    def _add_attr(self, name: str, key: str, attr: str) -> None:
+        inst = self.bindings.get(key)
+        if inst is None:
+            raise NativeLoweringError(f"no compile-time binding for {key!r}")
+        val = getattr(inst, attr)
+        if isinstance(val, np.ndarray):
+            dt = val.dtype.name
+            if dt not in _CTYPES:
+                raise NativeLoweringError(f"unsupported dtype {dt} for {name}")
+            spec = ArgSpec(name, "array", _attr_loader(key, attr), dt,
+                           ndim=max(val.ndim, 1))
+            self.args.append(spec)
+            self.arrays[name] = spec
+        elif isinstance(val, (int, np.integer)):
+            self._add_scalar(name, _attr_loader(key, attr))
+        else:
+            raise NativeLoweringError(
+                f"attribute {attr!r} of {key!r} is neither array nor int")
+
+    def _infer_dense_shapes(self, body: Sequence[ast.stmt]) -> None:
+        mod = ast.Module(body=list(body), type_ignores=[])
+        for node in ast.walk(mod):
+            if not (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)):
+                continue
+            spec = self.arrays.get(node.value.id)
+            if spec is None or spec.ndim != -1:
+                continue
+            sl = node.slice
+            if isinstance(sl, ast.Tuple):
+                spec.ndim = len(sl.elts)
+            elif isinstance(sl, ast.Constant) and sl.value == ():
+                spec.ndim = 0
+            else:
+                spec.ndim = 1
+        for spec in self.arrays.values():
+            if spec.ndim == -1:
+                spec.ndim = 1        # referenced but never subscripted
+
+    # -- emission helpers -------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def _need_helper(self, name: str, text: str) -> None:
+        self.helpers.setdefault(name, text)
+
+    def _array_of(self, node: ast.AST, what: str) -> ArgSpec:
+        if isinstance(node, ast.Name) and node.id in self.arrays:
+            return self.arrays[node.id]
+        raise NativeLoweringError(f"{what} must be a known array argument")
+
+    # -- expressions ------------------------------------------------------
+
+    def cexpr(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Name):
+            if node.id in self.arrays:
+                raise NativeLoweringError(
+                    f"raw array reference {node.id!r} outside subscript")
+            return node.id
+        if isinstance(node, ast.Constant):
+            return self._const(node.value)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                return f"(-({self.cexpr(node.operand)}))"
+            if isinstance(node.op, ast.Not):
+                return f"(!({self.cexpr(node.operand)}))"
+            raise NativeLoweringError(f"unary op {type(node.op).__name__}")
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            parts = []
+            cur = node.left
+            for op, comp in zip(node.ops, node.comparators):
+                sym = {"Lt": "<", "LtE": "<=", "Gt": ">", "GtE": ">=",
+                       "Eq": "==", "NotEq": "!="}.get(type(op).__name__)
+                if sym is None:
+                    raise NativeLoweringError(
+                        f"comparison {type(op).__name__}")
+                parts.append(f"({self.cexpr(cur)}) {sym} ({self.cexpr(comp)})")
+                cur = comp
+            return "(" + " && ".join(parts) + ")"
+        if isinstance(node, ast.BoolOp):
+            sym = " && " if isinstance(node.op, ast.And) else " || "
+            return "(" + sym.join(f"({self.cexpr(v)})" for v in node.values) + ")"
+        if isinstance(node, ast.IfExp):
+            return (f"(({self.cexpr(node.test)}) ? ({self.cexpr(node.body)}) "
+                    f": ({self.cexpr(node.orelse)}))")
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise NativeLoweringError(f"expression {type(node).__name__}")
+
+    def _const(self, value) -> str:
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, float):
+            s = repr(value)
+            if "." not in s and "e" not in s and "E" not in s:
+                s += ".0"
+            return s
+        raise NativeLoweringError(f"constant {value!r}")
+
+    def _binop(self, node: ast.BinOp) -> str:
+        l, r = self.cexpr(node.left), self.cexpr(node.right)
+        op = type(node.op).__name__
+        if op == "Add":
+            return f"(({l}) + ({r}))"
+        if op == "Sub":
+            return f"(({l}) - ({r}))"
+        if op == "Mult":
+            return f"(({l}) * ({r}))"
+        if op == "Div":
+            # Python true division; cast both sides so int/int cannot
+            # truncate (double/double is unchanged)
+            return f"((double)({l}) / (double)({r}))"
+        if op == "FloorDiv":
+            # C '/' truncates toward zero; Python '//' floors
+            self._need_helper("_fdiv", _helper_fdiv())
+            return f"_fdiv({l}, {r})"
+        if op == "Mod":
+            # only emitted in divisibility guards ('% q == 0'), where C
+            # and Python agree on zero-ness regardless of sign
+            return f"(({l}) % ({r}))"
+        raise NativeLoweringError(f"binary op {op}")
+
+    def _subscript(self, node: ast.Subscript) -> str:
+        spec = self._array_of(node.value, "subscript base")
+        sl = node.slice
+        if isinstance(sl, ast.Tuple):
+            idx = list(sl.elts)
+        elif isinstance(sl, ast.Constant) and sl.value == ():
+            idx = []
+        else:
+            idx = [sl]
+        if spec.ndim == 0:
+            if idx:
+                raise NativeLoweringError(f"{spec.cname}: scalar array indexed")
+            return f"{spec.cname}[0]"
+        if len(idx) != spec.ndim:
+            raise NativeLoweringError(
+                f"{spec.cname}: {len(idx)} indices for ndim {spec.ndim}")
+        expr = self.cexpr(idx[0])
+        for k in range(1, spec.ndim):
+            expr = f"({expr}) * {spec.cname}__s{k - 1} + ({self.cexpr(idx[k])})"
+        return f"{spec.cname}[{expr}]"
+
+    def _call(self, node: ast.Call) -> str:
+        if not isinstance(node.func, ast.Name):
+            raise NativeLoweringError("method call")
+        fn = node.func.id
+        a = node.args
+        if fn in ("max", "min") and len(a) == 2:
+            self._need_helper("_imax", _helper_minmax())
+            c = "_imax" if fn == "max" else "_imin"
+            return f"{c}({self.cexpr(a[0])}, {self.cexpr(a[1])})"
+        if fn == "len" and len(a) == 1:
+            spec = self._array_of(a[0], "len() argument")
+            spec.need_len = True
+            return f"{spec.cname}__len"
+        if fn == "_bisect" and len(a) == 4:
+            arr = self._array_of(a[0], "_bisect array")
+            name = f"_bisect_{_TAGS[arr.dtype]}"
+            self._need_helper(name, _helper_bisect(arr.dtype))
+            rest = ", ".join(self.cexpr(x) for x in a[1:])
+            return f"{name}({arr.cname}, {rest})"
+        if fn == "_coo_find" and len(a) == 4:
+            rows = self._array_of(a[0], "_coo_find rows")
+            cols = self._array_of(a[1], "_coo_find cols")
+            rows.need_len = True
+            name = f"_coo_find_{_TAGS[rows.dtype]}_{_TAGS[cols.dtype]}"
+            self._need_helper(name, _helper_coo_find(rows.dtype, cols.dtype))
+            return (f"{name}({rows.cname}, {rows.cname}__len, {cols.cname}, "
+                    f"{self.cexpr(a[2])}, {self.cexpr(a[3])})")
+        if fn == "_ell_find" and len(a) == 4:
+            colind = self._array_of(a[0], "_ell_find colind")
+            rowlen = self._array_of(a[1], "_ell_find rowlen")
+            if colind.ndim != 2:
+                raise NativeLoweringError("_ell_find colind must be 2-D")
+            name = f"_ell_find_{_TAGS[colind.dtype]}_{_TAGS[rowlen.dtype]}"
+            self._need_helper(name, _helper_ell_find(colind.dtype, rowlen.dtype))
+            return (f"{name}({colind.cname}, {colind.cname}__s0, "
+                    f"{rowlen.cname}, {self.cexpr(a[2])}, {self.cexpr(a[3])})")
+        if fn == "_jad_row_find" and len(a) == 5:
+            dptr = self._array_of(a[0], "_jad_row_find dptr")
+            colind = self._array_of(a[1], "_jad_row_find colind")
+            rowcnt = self._array_of(a[2], "_jad_row_find rowcnt")
+            tags = (dptr.dtype, colind.dtype, rowcnt.dtype)
+            name = f"_jad_row_find_{_TAGS[tags[0]]}_{_TAGS[tags[1]]}_{_TAGS[tags[2]]}"
+            self._need_helper(name, _helper_jad_row_find(*tags))
+            return (f"{name}({dptr.cname}, {colind.cname}, {rowcnt.cname}, "
+                    f"{self.cexpr(a[3])}, {self.cexpr(a[4])})")
+        if fn == "_jad_find" and len(a) == 6:
+            ipermi = self._array_of(a[0], "_jad_find ipermi")
+            dptr = self._array_of(a[1], "_jad_find dptr")
+            colind = self._array_of(a[2], "_jad_find colind")
+            rowcnt = self._array_of(a[3], "_jad_find rowcnt")
+            ipermi.need_len = True
+            tags = (dptr.dtype, colind.dtype, rowcnt.dtype)
+            inner = f"_jad_row_find_{_TAGS[tags[0]]}_{_TAGS[tags[1]]}_{_TAGS[tags[2]]}"
+            self._need_helper(inner, _helper_jad_row_find(*tags))
+            name = (f"_jad_find_{_TAGS[ipermi.dtype]}_{_TAGS[tags[0]]}_"
+                    f"{_TAGS[tags[1]]}_{_TAGS[tags[2]]}")
+            self._need_helper(name, _helper_jad_find(ipermi.dtype, *tags))
+            return (f"{name}({ipermi.cname}, {ipermi.cname}__len, {dptr.cname}, "
+                    f"{colind.cname}, {rowcnt.cname}, "
+                    f"{self.cexpr(a[4])}, {self.cexpr(a[5])})")
+        raise NativeLoweringError(f"call to {fn!r}")
+
+    # -- statements -------------------------------------------------------
+
+    def lower_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for st in stmts:
+            self.lower_stmt(st)
+
+    def lower_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._augassign(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.While):
+            self.emit(f"while ({self.cexpr(node.test)}) {{")
+            self.indent += 1
+            self.lower_body(node.body)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.If):
+            self.emit(f"if ({self.cexpr(node.test)}) {{")
+            self.indent += 1
+            self.lower_body(node.body)
+            self.indent -= 1
+            if node.orelse:
+                self.emit("} else {")
+                self.indent += 1
+                self.lower_body(node.orelse)
+                self.indent -= 1
+            self.emit("}")
+        elif isinstance(node, ast.Return):
+            pass                               # trailing 'return None'
+        else:
+            raise NativeLoweringError(f"statement {type(node).__name__}")
+
+    def _assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            raise NativeLoweringError("multiple assignment targets")
+        tgt = node.targets[0]
+        if isinstance(tgt, ast.Name):
+            if isinstance(node.value, (ast.List, ast.ListComp)):
+                raise NativeLoweringError("list value (sorted enumeration)")
+            if tgt.id in self.arrays or tgt.id in self.scalars:
+                raise NativeLoweringError(f"reassignment of argument {tgt.id}")
+            rhs = self.cexpr(node.value)
+            if tgt.id in self.declared:
+                self.emit(f"{tgt.id} = {rhs};")
+            else:
+                self.declared.add(tgt.id)
+                self.emit(f"int64_t {tgt.id} = {rhs};")
+            return
+        if isinstance(tgt, ast.Subscript):
+            spec = self._array_of(tgt.value, "store target")
+            spec.written = True
+            lhs = self._subscript(tgt)
+            rmw_op = _rmw_op(tgt, node.value)
+            if self.atomic_region:
+                if rmw_op is not None:
+                    # OpenMP atomic update form: x = x op expr
+                    self.emit("#pragma omp atomic")
+                    self.emit(f"{lhs} = {lhs} {rmw_op} "
+                              f"({self.cexpr(node.value.right)});")
+                    return
+                raise NativeLoweringError(
+                    "non-accumulation store inside atomic parallel loop")
+            self.emit(f"{lhs} = {self.cexpr(node.value)};")
+            return
+        raise NativeLoweringError(f"assignment target {type(tgt).__name__}")
+
+    def _augassign(self, node: ast.AugAssign) -> None:
+        op = {"Add": "+=", "Sub": "-=", "Mult": "*="}.get(
+            type(node.op).__name__)
+        if op is None or not isinstance(node.target, ast.Name):
+            raise NativeLoweringError("augmented assignment form")
+        if node.target.id not in self.declared:
+            raise NativeLoweringError(
+                f"augmented assignment to undeclared {node.target.id}")
+        self.emit(f"{node.target.id} {op} {self.cexpr(node.value)};")
+
+    def _range_parts(self, node: ast.For):
+        it = node.iter
+        if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+                and it.func.id == "range"):
+            raise NativeLoweringError("non-range for loop")
+        args = it.args
+        if len(args) == 1:
+            return "0", self.cexpr(args[0]), 1
+        if len(args) == 2:
+            return self.cexpr(args[0]), self.cexpr(args[1]), 1
+        if len(args) == 3:
+            step = args[2]
+            if (isinstance(step, ast.UnaryOp) and isinstance(step.op, ast.USub)
+                    and isinstance(step.operand, ast.Constant)
+                    and step.operand.value == 1):
+                sv = -1
+            elif isinstance(step, ast.Constant) and step.value in (1, -1):
+                sv = step.value
+            else:
+                raise NativeLoweringError("non-unit range step")
+            return self.cexpr(args[0]), self.cexpr(args[1]), sv
+        raise NativeLoweringError("range arity")
+
+    def _for(self, node: ast.For) -> None:
+        if not isinstance(node.target, ast.Name):
+            raise NativeLoweringError("tuple for-loop target")
+        lo, hi, step = self._range_parts(node)
+        flag = "seq"
+        if (self.loop_flags is not None and self.parallel_depth == 0
+                and not self.atomic_region):
+            flag = self.loop_flags[self.for_index]
+        self.for_index += 1
+        atomic_here = False
+        if flag == "par_atomic":
+            # every store in the body must be an atomic-able accumulation,
+            # otherwise the loop stays sequential
+            if _all_stores_rmw(node.body):
+                atomic_here = True
+            else:
+                flag = "seq"
+        if flag in ("par", "par_atomic"):
+            self.emit("#pragma omp parallel for")
+            self.uses_openmp = True
+        v = node.target.id
+        if step > 0:
+            hdr = f"for (int64_t {v} = {lo}; {v} < {hi}; {v}++)"
+        else:
+            hdr = f"for (int64_t {v} = {lo}; {v} > {hi}; {v}--)"
+        self.emit(hdr + " {")
+        self.indent += 1
+        entered_parallel = flag in ("par", "par_atomic")
+        if entered_parallel:
+            self.parallel_depth += 1
+        if atomic_here:
+            self.atomic_region = True
+        self.lower_body(node.body)
+        if atomic_here:
+            self.atomic_region = False
+        if entered_parallel:
+            self.parallel_depth -= 1
+        self.indent -= 1
+        self.emit("}")
+
+    # -- assembly ---------------------------------------------------------
+
+    def c_signature(self) -> str:
+        parts: List[str] = []
+        for spec in self.args:
+            if spec.kind == "scalar":
+                parts.append(f"int64_t {spec.cname}")
+            else:
+                parts.append(f"{_CTYPES[spec.dtype]} *{spec.cname}")
+                for k in range(max(spec.ndim - 1, 0)):
+                    parts.append(f"int64_t {spec.cname}__s{k}")
+                if spec.need_len:
+                    parts.append(f"int64_t {spec.cname}__len")
+        return ", ".join(parts) if parts else "void"
+
+    def translation_unit(self) -> str:
+        head = ["#include <stdint.h>", ""]
+        head.extend(self.helpers[k] for k in sorted(self.helpers))
+        head.append(f"void kernel({self.c_signature()}) {{")
+        return "\n".join(head + self.lines + ["}", ""])
+
+
+def _rmw_op(target: ast.Subscript, value: ast.AST) -> Optional[str]:
+    """'+', '-', '*', '/' when value is ``target op expr``, else None."""
+    if not isinstance(value, ast.BinOp):
+        return None
+    op = {"Add": "+", "Sub": "-", "Mult": "*", "Div": "/"}.get(
+        type(value.op).__name__)
+    if op is None:
+        return None
+    if ast.unparse(value.left) != ast.unparse(target):
+        return None
+    # OpenMP atomic requires the update expression not to read the target
+    if ast.unparse(target) in ast.unparse(value.right):
+        return None
+    return op
+
+
+def _all_stores_rmw(body: Sequence[ast.stmt]) -> bool:
+    for st in body:
+        for node in ast.walk(st):
+            if isinstance(node, ast.Assign):
+                tgt = node.targets[0]
+                if isinstance(tgt, ast.Subscript) and \
+                        _rmw_op(tgt, node.value) is None:
+                    return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Plan-aligned loop verdicts
+# ---------------------------------------------------------------------------
+
+def emitted_loop_flags(plan: Plan, report, flavour: str) -> List[str]:
+    """Per emitted ``for`` loop (in source order), how it may run:
+    ``"par"`` (strict DOALL), ``"par_atomic"`` (DOALL given atomic
+    accumulation — only meaningful under the atomic flavour), or
+    ``"seq"``.  Search-driven loop nodes emit no ``for`` and are skipped;
+    sorted enumerations emit auxiliary loops and are rejected upstream by
+    the lowering itself."""
+    flags: List[str] = []
+
+    def verdict(dims: Sequence[str]) -> str:
+        if all(d in report.strict for d in dims):
+            return "par"
+        if flavour == "atomic" and all(d in report.atomic for d in dims):
+            return "par_atomic"
+        return "seq"
+
+    def walk(nodes: Sequence[PlanNode]) -> None:
+        for n in nodes:
+            if isinstance(n, LoopNode):
+                walk(n.before)
+                if isinstance(n.method, SortedEnum):
+                    flags.append("seq")
+                    flags.append("seq")    # gather loop + replay loop
+                elif not isinstance(n.method, SearchEnum):
+                    flags.append(verdict(n.dim_names))
+                walk(n.body)
+                walk(n.after)
+            elif isinstance(n, VarLoopNode):
+                flags.append(verdict([n.dim_name]))
+                walk(n.body)
+
+    walk(plan.nodes)
+    return flags
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def lower_source(py_source: str, bindings: Mapping[str, object],
+                 flavour: str = "none",
+                 loop_flags: Optional[List[str]] = None) -> NativeSpec:
+    """Lower generated Python kernel source to a C99 translation unit.
+
+    ``bindings`` supplies the compile-time format instances (dtype and
+    rank resolution for the index/value arrays).  ``loop_flags`` is the
+    per-``for`` parallelism verdict list from :func:`emitted_loop_flags`
+    (None: fully sequential)."""
+    low = _Lowerer(py_source, bindings, flavour, loop_flags)
+    low.lower_body(low.body)
+    return NativeSpec(low.translation_unit(), low.args, low.uses_openmp,
+                      flavour)
+
+
+def lower_kernel(kernel, parallel: str = "none") -> NativeSpec:
+    """Lower a :class:`~repro.core.compiler.CompiledKernel`'s generated
+    source to C, with OpenMP pragmas on the loops its
+    :class:`~repro.core.parallel.ParallelReport` proves order-free."""
+    from repro.instrument import INSTR
+
+    with INSTR.phase("c_lower"):
+        flags = None
+        if parallel not in ("none", "strict", "atomic"):
+            raise ValueError(
+                f"parallel must be 'none', 'strict' or 'atomic', got {parallel!r}")
+        if parallel != "none":
+            from repro.analysis.dependence import dependences
+            from repro.core.parallel import analyze_parallelism
+
+            deps = dependences(kernel.program)
+            report = analyze_parallelism(kernel.plan, deps)
+            flags = emitted_loop_flags(kernel.plan, report, parallel)
+        return lower_source(kernel.source, kernel.bindings, parallel, flags)
+
+
+def _param_loader(key: str):
+    return lambda arrays, params: int(params[key])
+
+
+def _array_loader(key: str):
+    return lambda arrays, params: arrays[key]
+
+
+def _attr_loader(key: str, attr: str):
+    return lambda arrays, params: getattr(arrays[key], attr)
+
+
+def _len_loader(key: str, attr: str):
+    return lambda arrays, params: len(getattr(arrays[key], attr))

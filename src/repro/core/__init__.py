@@ -35,6 +35,7 @@ from repro.core.plan import (
     build_plan,
 )
 from repro.core.compiler import CompiledKernel, compile_kernel
+from repro.core.backend import NativeBackendWarning, NativeKernel
 from repro.core.parallel import ParallelReport, analyze_parallelism, annotate_c_source
 
 __all__ = [
@@ -73,6 +74,8 @@ __all__ = [
     "build_plan",
     "CompiledKernel",
     "compile_kernel",
+    "NativeBackendWarning",
+    "NativeKernel",
     "ParallelReport",
     "analyze_parallelism",
     "annotate_c_source",

@@ -1,0 +1,319 @@
+"""Native execution backend: compile lowered C kernels and bind them.
+
+This is the execution half of the C backend
+(:mod:`repro.codegen.native` is the lowering half): find a system C
+compiler, compile the translation unit into a shared object, and bind the
+exported ``kernel`` symbol through :mod:`ctypes` with numpy-array
+arguments.  ``compile_kernel(..., backend="c")`` routes every
+``__call__``/``run`` through the result.
+
+**Toolchain** — ``REPRO_CC`` names the compiler (``none`` disables the
+backend outright, for testing the fallback path); otherwise ``cc``,
+``gcc``, ``clang`` are probed on PATH.  OpenMP support is detected with a
+one-time test compile; when absent, parallel-flavour kernels compile
+single-threaded (pragmas are simply not activated).
+
+**Artifact cache** — compiled ``.so`` files are cached in-process by
+digest of (C source, flags, compiler identity), and, when the compilation
+cache runs in ``disk`` mode, persisted under the same cache directory
+with atomic writes (compile to a temp name, ``os.replace``).  A missing
+or unloadable artifact is a miss: the kernel is recompiled.  The digest
+subsumes the structural signature — the structural key determines the
+generated Python source, which determines the C source.
+
+**Fallback** — any failure (no toolchain, lowering limitation, compile
+error, load error) emits a :class:`NativeBackendWarning`, bumps an
+``INSTR`` counter, and falls back to the Python kernel; it never raises.
+
+Phase timers: ``c_lower`` (AST-to-C), ``cc_compile`` (the cc
+invocation), ``native_dispatch`` (argument marshalling + the native
+call).  ``REPRO_TRACE=1`` renders them on exit.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import warnings
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.instrument import INSTR
+
+_CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c11", "-ffp-contract=off"]
+
+
+class NativeBackendWarning(UserWarning):
+    """The C backend fell back to the Python kernel."""
+
+
+# ---------------------------------------------------------------------------
+# Toolchain discovery (memoized per process)
+# ---------------------------------------------------------------------------
+
+_toolchain: Dict[str, object] = {}
+
+
+def reset_toolchain_cache() -> None:
+    """Forget the memoized compiler/OpenMP probe results (test hook)."""
+    _toolchain.clear()
+    _SO_CACHE.clear()
+
+
+def find_compiler() -> Optional[str]:
+    """Path of the system C compiler, or None.  ``REPRO_CC`` overrides
+    discovery; ``REPRO_CC=none`` disables the backend."""
+    if "cc" in _toolchain:
+        return _toolchain["cc"]
+    cc: Optional[str] = None
+    env = os.environ.get("REPRO_CC", "").strip()
+    if env:
+        cc = None if env.lower() == "none" else shutil.which(env)
+    else:
+        for cand in ("cc", "gcc", "clang"):
+            cc = shutil.which(cand)
+            if cc:
+                break
+    _toolchain["cc"] = cc
+    return cc
+
+
+def compiler_identity(cc: str) -> str:
+    """First line of ``cc --version`` (part of the artifact-cache key)."""
+    key = ("ident", cc)
+    if key not in _toolchain:
+        try:
+            out = subprocess.run([cc, "--version"], capture_output=True,
+                                 text=True, timeout=30)
+            _toolchain[key] = (out.stdout or out.stderr).splitlines()[0]
+        except (OSError, subprocess.SubprocessError, IndexError):
+            _toolchain[key] = cc
+    return _toolchain[key]
+
+
+def openmp_supported(cc: str) -> bool:
+    """Does ``cc -fopenmp`` link a trivial parallel program?"""
+    key = ("omp", cc)
+    if key not in _toolchain:
+        probe = ("#include <omp.h>\n"
+                 "int main(void) { return omp_get_max_threads() > 0 ? 0 : 1; }\n")
+        with tempfile.TemporaryDirectory(prefix="repro-omp-") as d:
+            src = os.path.join(d, "probe.c")
+            with open(src, "w") as f:
+                f.write(probe)
+            try:
+                r = subprocess.run(
+                    [cc, "-fopenmp", src, "-o", os.path.join(d, "probe")],
+                    capture_output=True, timeout=60)
+                _toolchain[key] = r.returncode == 0
+            except (OSError, subprocess.SubprocessError):
+                _toolchain[key] = False
+    return _toolchain[key]
+
+
+# ---------------------------------------------------------------------------
+# Shared-object compilation + artifact cache
+# ---------------------------------------------------------------------------
+
+#: digest -> loaded ctypes function (process-wide)
+_SO_CACHE: Dict[str, ctypes._CFuncPtr] = {}
+
+_work_dir: List[str] = []
+
+
+def _scratch_dir() -> str:
+    if not _work_dir:
+        _work_dir.append(tempfile.mkdtemp(prefix="repro-native-"))
+    return _work_dir[0]
+
+
+def artifact_key(c_source: str, flags: Tuple[str, ...], cc: str) -> str:
+    blob = "\x1e".join([c_source, repr(flags), compiler_identity(cc)])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _disk_so_path(digest: str) -> str:
+    from repro.core.cache import COMPILE_CACHE
+
+    return os.path.join(COMPILE_CACHE.disk_dir(), digest + ".so")
+
+
+def _compile_so(cc: str, c_source: str, flags: Tuple[str, ...],
+                out_path: str) -> None:
+    """Compile into ``out_path`` atomically (temp file + rename)."""
+    d = os.path.dirname(out_path)
+    os.makedirs(d, exist_ok=True)
+    fd, src = tempfile.mkstemp(dir=d, suffix=".c")
+    tmp_so = src[:-2] + ".tmp.so"
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(c_source)
+        with INSTR.phase("cc_compile"):
+            r = subprocess.run([cc, *flags, src, "-o", tmp_so],
+                               capture_output=True, text=True, timeout=300)
+        if r.returncode != 0:
+            raise RuntimeError(f"cc failed: {r.stderr.strip()[:500]}")
+        os.replace(tmp_so, out_path)
+    finally:
+        for p in (src, tmp_so):
+            if os.path.exists(p):
+                try:
+                    os.unlink(p)
+                except OSError:
+                    pass
+
+
+def _load_symbol(path: str):
+    lib = ctypes.CDLL(path)
+    return lib.kernel
+
+
+def compile_native_function(c_source: str, want_openmp: bool,
+                            cache_mode: str):
+    """Compile ``c_source`` and return (ctypes function, used_openmp).
+
+    Raises on toolchain absence or compile failure — callers translate
+    that into the Python fallback."""
+    cc = find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH (set REPRO_CC to override)")
+    use_omp = want_openmp and openmp_supported(cc)
+    flags = tuple(_CFLAGS + (["-fopenmp"] if use_omp else []))
+    digest = artifact_key(c_source, flags, cc)
+
+    fn = _SO_CACHE.get(digest)
+    if fn is not None:
+        INSTR.count("native.so_cache.hits.memory")
+        return fn, use_omp
+
+    if cache_mode == "disk":
+        path = _disk_so_path(digest)
+        if os.path.exists(path):
+            try:
+                fn = _load_symbol(path)
+                INSTR.count("native.so_cache.hits.disk")
+                _SO_CACHE[digest] = fn
+                return fn, use_omp
+            except (OSError, AttributeError):
+                # corrupt artifact: treat as a miss and rebuild it
+                INSTR.count("native.so_cache.corrupt")
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        try:
+            _compile_so(cc, c_source, flags, path)
+            fn = _load_symbol(path)
+        except OSError:
+            # cache dir unwritable: fall through to the scratch dir
+            path = None
+            fn = None
+        if fn is not None:
+            INSTR.count("native.compiles")
+            _SO_CACHE[digest] = fn
+            return fn, use_omp
+
+    out = os.path.join(_scratch_dir(), digest + ".so")
+    if not os.path.exists(out):
+        _compile_so(cc, c_source, flags, out)
+        INSTR.count("native.compiles")
+    fn = _load_symbol(out)
+    _SO_CACHE[digest] = fn
+    return fn, use_omp
+
+
+# ---------------------------------------------------------------------------
+# Bound native kernels
+# ---------------------------------------------------------------------------
+
+class NativeKernel:
+    """A compiled-and-bound native kernel with the Python calling
+    convention ``fn(arrays, params)``.
+
+    Marshalling: every array argument is coerced to the compile-time
+    dtype and C-contiguity (``np.ascontiguousarray`` — a no-op for
+    already-conforming arrays); arrays the kernel writes are copied back
+    when coercion had to copy.  Stride and length arguments are derived
+    from the coerced array's shape."""
+
+    def __init__(self, fn, spec, used_openmp: bool):
+        self.spec = spec
+        self.used_openmp = used_openmp
+        self._fn = fn
+        argtypes = []
+        for a in spec.args:
+            if a.kind == "scalar":
+                argtypes.append(ctypes.c_int64)
+            else:
+                argtypes.append(ctypes.c_void_p)
+                argtypes.extend([ctypes.c_int64] * max(a.ndim - 1, 0))
+                if a.need_len:
+                    argtypes.append(ctypes.c_int64)
+        fn.argtypes = argtypes
+        fn.restype = None
+
+    @property
+    def c_source(self) -> str:
+        return self.spec.c_source
+
+    def __call__(self, arrays: Mapping[str, object],
+                 params: Mapping[str, int]) -> None:
+        with INSTR.phase("native_dispatch"):
+            cargs: List[object] = []
+            keepalive: List[np.ndarray] = []
+            writebacks: List[Tuple[np.ndarray, np.ndarray]] = []
+            for a in self.spec.args:
+                val = a.loader(arrays, params)
+                if a.kind == "scalar":
+                    cargs.append(int(val))
+                    continue
+                arr = np.asarray(val)
+                want = np.dtype(a.dtype)
+                carr = np.ascontiguousarray(arr, dtype=want)
+                if a.ndim == 0 and carr.ndim == 1 and carr.size == 1:
+                    carr = carr.reshape(())  # ascontiguousarray promotes 0-d
+                if carr.ndim != a.ndim:
+                    raise ValueError(
+                        f"{a.cname}: expected ndim {a.ndim}, got {carr.ndim}")
+                if a.written and not np.may_share_memory(carr, arr):
+                    writebacks.append((arr, carr))
+                keepalive.append(carr)
+                cargs.append(carr.ctypes.data)
+                for k in range(1, a.ndim):
+                    cargs.append(int(carr.shape[k]))
+                if a.need_len:
+                    cargs.append(int(carr.shape[0]) if a.ndim else 0)
+            self._fn(*cargs)
+            for orig, tmp in writebacks:
+                orig[...] = tmp
+            del keepalive
+
+
+def bind_kernel(kernel, parallel: str = "none",
+                cache_mode: str = "memory") -> NativeKernel:
+    """Lower + compile + bind one CompiledKernel.  Raises on any failure
+    (the compiler API converts that into the Python fallback)."""
+    from repro.codegen.native import lower_kernel
+
+    spec = lower_kernel(kernel, parallel)
+    fn, used_omp = compile_native_function(
+        spec.c_source, want_openmp=(parallel != "none" and spec.uses_openmp),
+        cache_mode=cache_mode)
+    return NativeKernel(fn, spec, used_omp)
+
+
+def native_fallback(reason: str, detail: str) -> None:
+    """Record one backend="c" fallback: warn + count, never raise."""
+    INSTR.count("native.fallbacks")
+    INSTR.count(f"native.fallback.{reason}")
+    warnings.warn(
+        f"C backend unavailable ({reason}): {detail}; "
+        "falling back to the Python kernel",
+        NativeBackendWarning,
+        stacklevel=3,
+    )

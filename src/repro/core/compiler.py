@@ -29,35 +29,99 @@ from repro.search.driver import SearchResult, search
 
 
 class CompiledKernel:
-    """A program lowered for specific format bindings."""
+    """A program lowered for specific format bindings.
+
+    ``backend`` records the *requested* execution backend ("python" or
+    "c"); ``backend_used`` what actually executes (``"c"``,
+    ``"c+openmp"``, or ``"python"`` after a fallback), and
+    ``fallback_reason`` why the native path was abandoned, so a silent
+    fallback is always observable on the object and in the
+    instrumentation report."""
 
     def __init__(self, program: Program, bindings: Mapping[str, SparseFormat],
-                 result: SearchResult):
+                 result: SearchResult, backend: str = "python",
+                 parallel: str = "none", cache_mode: str = "memory"):
         self.program = program
         self.bindings = dict(bindings)
         self.result = result
         self.plan: Plan = result.plan
         self.cost = result.cost
+        self.backend = backend
+        self.parallel = parallel
+        self.backend_used = "python"
+        self.fallback_reason: Optional[str] = None
+        self._cache_mode = cache_mode
         self._pyfunc = None
         self._pysource = None
         self._cache_publish = None
+        self._native = None
+        self._native_tried = False
 
     # -- execution -----------------------------------------------------------
     def run(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
-        """Execute through the reference interpreter.  ``arrays`` must map
-        every referenced array name to either a NumPy array (dense data) or
-        a format instance compatible with the compile-time binding."""
+        """Execute the kernel.  For ``backend="python"`` this is the
+        reference interpreter; for ``backend="c"`` it dispatches to the
+        native function (falling back to the interpreter when no
+        toolchain is available).  ``arrays`` must map every referenced
+        array name to either a NumPy array (dense data) or a format
+        instance compatible with the compile-time binding."""
         from repro.codegen.interp import run_plan
 
         self._check_arrays(arrays)
+        if self.backend == "c":
+            nf = self.native()
+            if nf is not None:
+                INSTR.count("backend.run.native")
+                nf(arrays, {k: int(v) for k, v in params.items()})
+                return
+        INSTR.count("backend.run.interp")
         run_plan(self.plan, arrays, {k: int(v) for k, v in params.items()})
 
     def __call__(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
         """Execute through the generated specialized code (compiled once,
-        cached)."""
-        fn = self.callable()
+        cached).  With ``backend="c"`` this is the native shared-object
+        kernel; otherwise (or after a fallback) the specialized Python."""
         self._check_arrays(arrays)
+        if self.backend == "c":
+            nf = self.native()
+            if nf is not None:
+                INSTR.count("backend.run.native")
+                nf(arrays, {k: int(v) for k, v in params.items()})
+                return
+        fn = self.callable()
+        INSTR.count("backend.run.python")
         fn(arrays, {k: int(v) for k, v in params.items()})
+
+    def native(self):
+        """The bound :class:`~repro.core.backend.NativeKernel`, compiling
+        it on first use; None when the native path is unavailable (the
+        reason is recorded in ``fallback_reason``)."""
+        if self.backend != "c":
+            return None
+        if not self._native_tried:
+            self._native_tried = True
+            from repro.codegen.native import NativeLoweringError
+            from repro.core import backend as be
+
+            try:
+                self._native = be.bind_kernel(self, self.parallel,
+                                              self._cache_mode)
+                self.backend_used = (
+                    "c+openmp" if self._native.used_openmp else "c")
+            except NativeLoweringError as e:
+                self.fallback_reason = f"lowering: {e}"
+                be.native_fallback("lowering", str(e))
+            except Exception as e:
+                self.fallback_reason = f"toolchain: {e}"
+                be.native_fallback("toolchain", str(e))
+        return self._native
+
+    @property
+    def c_source(self) -> Optional[str]:
+        """The lowered C translation unit (None unless the native backend
+        compiled successfully)."""
+        nf = self.native()
+        return nf.c_source if nf is not None else None
 
     def callable(self):
         if self._pyfunc is None:
@@ -93,7 +157,18 @@ class CompiledKernel:
 
     def __repr__(self):
         b = {k: v.format_name for k, v in self.bindings.items()}
-        return f"<CompiledKernel {self.program.name} {b} cost={self.cost:.1f}>"
+        tail = ""
+        if self.backend != "python":
+            used = self.backend_used
+            if self.fallback_reason is not None:
+                used = "python-fallback"
+            elif not self._native_tried:
+                used = "pending"
+            tail = f" backend={self.backend}->{used}"
+            if self.parallel != "none":
+                tail += f" parallel={self.parallel}"
+        return (f"<CompiledKernel {self.program.name} {b} "
+                f"cost={self.cost:.1f}{tail}>")
 
 
 def infer_param_values(
@@ -168,6 +243,8 @@ def compile_kernel(
     max_orders: int = 12,
     simplify_guards: bool = True,
     cache: Optional[str] = None,
+    backend: str = "python",
+    parallel: str = "none",
 ) -> CompiledKernel:
     """Compile ``program`` for the given format bindings.
 
@@ -183,11 +260,27 @@ def compile_kernel(
 
     ``cache`` selects the compilation-cache mode: ``"off"`` always re-runs
     the search, ``"memory"`` memoizes per process, ``"disk"`` additionally
-    persists entries across processes.  ``None`` defers to the
+    persists entries across processes (including compiled ``.so``
+    artifacts of the C backend).  ``None`` defers to the
     ``REPRO_COMPILE_CACHE`` environment variable (default ``"memory"``).
+
+    ``backend`` selects execution: ``"python"`` runs the specialized
+    generated Python; ``"c"`` lowers it to C99, compiles with the system
+    toolchain, and dispatches through ctypes — falling back to the Python
+    kernel (with a :class:`~repro.core.backend.NativeBackendWarning` and
+    an ``INSTR`` counter) when no compiler is available.  ``parallel``
+    adds OpenMP pragmas to order-free loops: ``"strict"`` only
+    synchronization-free DOALL loops, ``"atomic"`` additionally reduction
+    loops with atomic accumulation.  Both are advisory for
+    ``backend="python"``.
     """
     from repro.core import cache as cc
 
+    if backend not in ("python", "c"):
+        raise ValueError(f"backend must be 'python' or 'c', got {backend!r}")
+    if parallel not in ("none", "strict", "atomic"):
+        raise ValueError(
+            f"parallel must be 'none', 'strict' or 'atomic', got {parallel!r}")
     validate_program(program)
     for name, fmt in bindings.items():
         decl = program.arrays.get(name)
@@ -213,8 +306,11 @@ def compile_kernel(
             if simplify_guards and idx not in entry.simplified:
                 result.plan.simplify_guards(dict(param_values))
                 entry.simplified.add(idx)
-            return _kernel_from_entry(program, bindings, result, entry, idx,
-                                      mode, key)
+            kernel = _kernel_from_entry(program, bindings, result, entry, idx,
+                                        mode, key, backend, parallel)
+            if backend == "c":
+                kernel.native()          # compile eagerly; may fall back
+            return kernel
 
     result = search(program, bindings, None, param_values, pick=pick,
                     max_orders=max_orders)
@@ -225,18 +321,23 @@ def compile_kernel(
         entry = cc.record(key, mode, result, bindings, pick)
     if simplify_guards:
         result.plan.simplify_guards(dict(param_values))
-    kernel = CompiledKernel(program, bindings, result)
+    kernel = CompiledKernel(program, bindings, result, backend=backend,
+                            parallel=parallel, cache_mode=mode)
     if entry is not None:
         if simplify_guards:
             entry.simplified.add(entry.selected_index)
         kernel._cache_publish = _source_publisher(entry, entry.selected_index,
                                                   mode, key)
+    if backend == "c":
+        kernel.native()                  # compile eagerly; may fall back
     return kernel
 
 
-def _kernel_from_entry(program, bindings, result, entry, idx, mode, key):
+def _kernel_from_entry(program, bindings, result, entry, idx, mode, key,
+                       backend="python", parallel="none"):
     """Build a kernel from a cache hit, replaying memoized source."""
-    kernel = CompiledKernel(program, bindings, result)
+    kernel = CompiledKernel(program, bindings, result, backend=backend,
+                            parallel=parallel, cache_mode=mode)
     src = entry.sources.get(idx)
     if src is not None:
         fn = entry.fns.get(idx)

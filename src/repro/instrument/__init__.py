@@ -21,6 +21,8 @@ Counter namespaces used by the compiler:
 - ``cache.*``           — compilation-cache hits/misses/invalidations
 - ``codegen.*``         — specialized Python source generation
 - ``plan.*``            — plan lowering
+- ``native.*``          — C backend: compiles, .so-cache traffic, fallbacks
+- ``backend.run.*``     — per-call dispatch (native / python / interp)
 """
 
 from __future__ import annotations

@@ -123,7 +123,8 @@ class TestCRenderer:
         r = _CRenderer()
         assert r.expr(_ast.parse("a + b * 2", mode="eval").body) == \
             "(a + (b * 2))"
-        assert r.expr(_ast.parse("x // 3", mode="eval").body) == "(x / 3)"
+        # floor division must not render as truncating C "/"
+        assert r.expr(_ast.parse("x // 3", mode="eval").body) == "_fdiv(x, 3)"
         assert r.expr(_ast.parse("a[i, j]", mode="eval").body) == "a[i][j]"
         assert r.expr(_ast.parse("x if c else y", mode="eval").body) == \
             "(c ? x : y)"

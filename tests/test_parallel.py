@@ -92,3 +92,60 @@ class TestOmpRendering:
         deps = dependences(k.program)
         rep = analyze_parallelism(k.plan, deps)
         assert "doall" in repr(rep)
+
+
+def _pragma_above(source: str, marker: str) -> bool:
+    """Is there an OpenMP pragma on the line directly above the first
+    ``for`` header containing ``marker``?"""
+    lines = source.splitlines()
+    for i, line in enumerate(lines):
+        if line.lstrip().startswith("for (") and marker in line:
+            return i > 0 and "#pragma omp parallel for" in lines[i - 1]
+    raise AssertionError(f"no for-loop matching {marker!r} in:\n{source}")
+
+
+class TestPragmaPlacement:
+    """Satellite coverage: where exactly the pragmas land in the
+    rendered source, per flavour."""
+
+    def test_mvm_strict_row_loop_annotated(self, mvm_csr):
+        k, _ = mvm_csr
+        c = annotate_c_source(k, flavour="strict")
+        # rows write disjoint y entries: the row loop is strict DOALL
+        assert _pragma_above(c, "M0_r")
+
+    def test_mvm_strict_column_loop_not_annotated(self, mvm_csr):
+        k, _ = mvm_csr
+        c = annotate_c_source(k, flavour="strict")
+        # the column walk accumulates into y[r]: a reduction, not strict
+        assert not _pragma_above(c, "M0_jj")
+
+    def test_mvm_atomic_column_loop_annotated(self, mvm_csr):
+        k, _ = mvm_csr
+        c = annotate_c_source(k, flavour="atomic")
+        assert _pragma_above(c, "M0_jj")
+        assert "atomic" in c  # the flavour is called out in the pragma
+
+    def test_mvm_loop_names_by_flavour(self, mvm_csr):
+        k, _ = mvm_csr
+        deps = dependences(k.program)
+        strict = parallel_loop_names(k.plan, deps, flavour="strict")
+        atomic = parallel_loop_names(k.plan, deps, flavour="atomic")
+        assert any(n.endswith(".r") for n in strict)
+        assert not any(n.endswith(".c") for n in strict)
+        assert any(n.endswith(".c") for n in atomic)
+
+    def test_ts_strict_no_pragmas(self, ts_csr):
+        k, _ = ts_csr
+        c = annotate_c_source(k, flavour="strict")
+        # forward substitution is ordered in the rows and accumulates
+        # within a row: no loop of the nest is strict DOALL
+        assert "#pragma omp parallel for" not in c
+
+    def test_ts_row_loop_never_annotated(self, ts_csr):
+        k, _ = ts_csr
+        for flavour in ("strict", "atomic"):
+            c = annotate_c_source(k, flavour=flavour)
+            if "DOALL dimensions" in c.splitlines()[0]:
+                continue  # positional fallback: no per-loop pragmas at all
+            assert not _pragma_above(c, "M0_r")
