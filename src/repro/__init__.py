@@ -15,6 +15,8 @@ Quickstart::
 Public surface:
 
 - :func:`compile_kernel` / :class:`CompiledKernel` — the compiler;
+- :func:`compile_many` / :class:`BatchResult` — the thread-pooled batch
+  driver with per-item failure isolation;
 - :mod:`repro.ir` (and :mod:`repro.ir.kernels` as ``repro.kernels``) — the
   dense-program high-level API;
 - :mod:`repro.formats` — formats, the view grammar, I/O, generators
@@ -24,6 +26,7 @@ Public surface:
 """
 
 from repro.core.compiler import CompiledKernel, compile_kernel
+from repro.core.service import BatchResult, CompileOutcome, compile_many
 from repro.formats.convert import as_format, convert
 from repro.ir import parse_program, program_to_text, execute_dense
 from repro.ir import kernels
@@ -34,6 +37,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CompiledKernel",
     "compile_kernel",
+    "BatchResult",
+    "CompileOutcome",
+    "compile_many",
     "as_format",
     "convert",
     "parse_program",

@@ -36,6 +36,7 @@ from repro.core.plan import (
 )
 from repro.core.compiler import CompiledKernel, compile_kernel
 from repro.core.backend import NativeBackendWarning, NativeKernel
+from repro.core.service import BatchResult, CompileOutcome, compile_many
 from repro.core.parallel import ParallelReport, analyze_parallelism, annotate_c_source
 
 __all__ = [
@@ -76,6 +77,9 @@ __all__ = [
     "compile_kernel",
     "NativeBackendWarning",
     "NativeKernel",
+    "BatchResult",
+    "CompileOutcome",
+    "compile_many",
     "ParallelReport",
     "analyze_parallelism",
     "annotate_c_source",

@@ -21,6 +21,17 @@ or unloadable artifact is a miss: the kernel is recompiled.  The digest
 subsumes the structural signature — the structural key determines the
 generated Python source, which determines the C source.
 
+**Single-flight** — when N threads request the same digest concurrently,
+exactly one (the *leader*) invokes the C toolchain; the rest wait on a
+per-digest event and pick the result out of the in-process cache
+(``native.so_cache.hits.coalesced``).  A follower whose wait times out
+(``REPRO_SINGLEFLIGHT_TIMEOUT``, default 300 s — a wedged leader) compiles
+independently rather than hang; a follower whose leader *failed* retries
+the compile once itself before giving up, so one transient toolchain
+hiccup doesn't fail a whole batch.  Across processes the same guarantee
+comes from an ``flock`` on ``<digest>.so.lock``: the winner compiles,
+losers block on the lock and then find the finished artifact.
+
 **Fallback** — any failure (no toolchain, lowering limitation, compile
 error, load error) emits a :class:`NativeBackendWarning`, bumps an
 ``INSTR`` counter, and falls back to the Python kernel; it never raises.
@@ -38,12 +49,19 @@ import os
 import shutil
 import subprocess
 import tempfile
+import threading
 import warnings
+from contextlib import contextmanager
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.instrument import INSTR
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 _CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c11", "-ffp-contract=off"]
 
@@ -58,78 +76,143 @@ class NativeBackendWarning(UserWarning):
 
 _toolchain: Dict[str, object] = {}
 
+#: serializes toolchain probes (discovery, --version, the OpenMP test
+#: compile) so concurrent first-compiles run each probe exactly once
+_TOOLCHAIN_LOCK = threading.RLock()
 
-def reset_toolchain_cache() -> None:
-    """Forget the memoized compiler/OpenMP probe results (test hook)."""
-    _toolchain.clear()
-    _SO_CACHE.clear()
+
+def reset_toolchain_cache(scratch: bool = False) -> None:
+    """Forget the memoized compiler/OpenMP probe results and the loaded
+    ``.so`` cache (test hook).  ``scratch=True`` additionally abandons the
+    process scratch directory so subsequent compiles re-invoke the
+    toolchain instead of reusing on-disk scratch artifacts."""
+    with _TOOLCHAIN_LOCK:
+        _toolchain.clear()
+    with _SO_LOCK:
+        _SO_CACHE.clear()
+        if scratch:
+            _work_dir.clear()
 
 
 def find_compiler() -> Optional[str]:
     """Path of the system C compiler, or None.  ``REPRO_CC`` overrides
     discovery; ``REPRO_CC=none`` disables the backend."""
-    if "cc" in _toolchain:
-        return _toolchain["cc"]
-    cc: Optional[str] = None
-    env = os.environ.get("REPRO_CC", "").strip()
-    if env:
-        cc = None if env.lower() == "none" else shutil.which(env)
-    else:
-        for cand in ("cc", "gcc", "clang"):
-            cc = shutil.which(cand)
-            if cc:
-                break
-    _toolchain["cc"] = cc
-    return cc
+    with _TOOLCHAIN_LOCK:
+        if "cc" in _toolchain:
+            return _toolchain["cc"]
+        cc: Optional[str] = None
+        env = os.environ.get("REPRO_CC", "").strip()
+        if env:
+            cc = None if env.lower() == "none" else shutil.which(env)
+        else:
+            for cand in ("cc", "gcc", "clang"):
+                cc = shutil.which(cand)
+                if cc:
+                    break
+        _toolchain["cc"] = cc
+        return cc
 
 
 def compiler_identity(cc: str) -> str:
     """First line of ``cc --version`` (part of the artifact-cache key)."""
     key = ("ident", cc)
-    if key not in _toolchain:
-        try:
-            out = subprocess.run([cc, "--version"], capture_output=True,
-                                 text=True, timeout=30)
-            _toolchain[key] = (out.stdout or out.stderr).splitlines()[0]
-        except (OSError, subprocess.SubprocessError, IndexError):
-            _toolchain[key] = cc
-    return _toolchain[key]
+    with _TOOLCHAIN_LOCK:
+        if key not in _toolchain:
+            try:
+                out = subprocess.run([cc, "--version"], capture_output=True,
+                                     text=True, timeout=30)
+                _toolchain[key] = (out.stdout or out.stderr).splitlines()[0]
+            except (OSError, subprocess.SubprocessError, IndexError):
+                _toolchain[key] = cc
+        return _toolchain[key]
 
 
 def openmp_supported(cc: str) -> bool:
     """Does ``cc -fopenmp`` link a trivial parallel program?"""
     key = ("omp", cc)
-    if key not in _toolchain:
-        probe = ("#include <omp.h>\n"
-                 "int main(void) { return omp_get_max_threads() > 0 ? 0 : 1; }\n")
-        with tempfile.TemporaryDirectory(prefix="repro-omp-") as d:
-            src = os.path.join(d, "probe.c")
-            with open(src, "w") as f:
-                f.write(probe)
-            try:
-                r = subprocess.run(
-                    [cc, "-fopenmp", src, "-o", os.path.join(d, "probe")],
-                    capture_output=True, timeout=60)
-                _toolchain[key] = r.returncode == 0
-            except (OSError, subprocess.SubprocessError):
-                _toolchain[key] = False
-    return _toolchain[key]
+    with _TOOLCHAIN_LOCK:
+        if key not in _toolchain:
+            probe = ("#include <omp.h>\n"
+                     "int main(void) { return omp_get_max_threads() > 0 ? 0 : 1; }\n")
+            with tempfile.TemporaryDirectory(prefix="repro-omp-") as d:
+                src = os.path.join(d, "probe.c")
+                with open(src, "w") as f:
+                    f.write(probe)
+                try:
+                    r = subprocess.run(
+                        [cc, "-fopenmp", src, "-o", os.path.join(d, "probe")],
+                        capture_output=True, timeout=60)
+                    _toolchain[key] = r.returncode == 0
+                except (OSError, subprocess.SubprocessError):
+                    _toolchain[key] = False
+        return _toolchain[key]
 
 
 # ---------------------------------------------------------------------------
 # Shared-object compilation + artifact cache
 # ---------------------------------------------------------------------------
 
-#: digest -> loaded ctypes function (process-wide)
+#: digest -> loaded ctypes function (process-wide); guarded by _SO_LOCK
 _SO_CACHE: Dict[str, ctypes._CFuncPtr] = {}
+_SO_LOCK = threading.RLock()
 
 _work_dir: List[str] = []
 
 
 def _scratch_dir() -> str:
-    if not _work_dir:
-        _work_dir.append(tempfile.mkdtemp(prefix="repro-native-"))
-    return _work_dir[0]
+    with _SO_LOCK:
+        if not _work_dir:
+            _work_dir.append(tempfile.mkdtemp(prefix="repro-native-"))
+        return _work_dir[0]
+
+
+# -- in-process single-flight ------------------------------------------------
+
+class _Flight:
+    """One in-progress compilation of a digest: followers wait on the
+    event; the leader parks its failure (if any) in ``error``."""
+
+    __slots__ = ("event", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.error: Optional[BaseException] = None
+
+
+_INFLIGHT: Dict[str, _Flight] = {}
+_INFLIGHT_LOCK = threading.Lock()
+
+
+def singleflight_timeout() -> float:
+    """Seconds a follower waits for the leader before compiling itself
+    (``REPRO_SINGLEFLIGHT_TIMEOUT``, default 300)."""
+    return float(os.environ.get("REPRO_SINGLEFLIGHT_TIMEOUT", "300") or "300")
+
+
+@contextmanager
+def _artifact_lock(out_path: str):
+    """Cross-process guard for one on-disk artifact: an exclusive flock on
+    ``out_path + '.lock'``.  Processes that cannot take the lock (no fcntl,
+    unwritable directory) fall through unguarded — the temp-file +
+    ``os.replace`` write is still atomic, the guard only prevents the
+    duplicated toolchain work."""
+    if fcntl is None:
+        yield
+        return
+    try:
+        f = open(out_path + ".lock", "a+b")
+    except OSError:
+        yield
+        return
+    try:
+        fcntl.flock(f.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(f.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            pass
+        f.close()
 
 
 def artifact_key(c_source: str, flags: Tuple[str, ...], cc: str) -> str:
@@ -144,28 +227,37 @@ def _disk_so_path(digest: str) -> str:
 
 
 def _compile_so(cc: str, c_source: str, flags: Tuple[str, ...],
-                out_path: str) -> None:
-    """Compile into ``out_path`` atomically (temp file + rename)."""
+                out_path: str) -> bool:
+    """Compile into ``out_path`` atomically (temp file + rename), under the
+    cross-process artifact flock.  Returns True if this call invoked the
+    toolchain, False if the artifact already existed once the lock was
+    held (another process built it first).  ``native.compiles`` counts
+    actual cc invocations, one-to-one."""
     d = os.path.dirname(out_path)
     os.makedirs(d, exist_ok=True)
-    fd, src = tempfile.mkstemp(dir=d, suffix=".c")
-    tmp_so = src[:-2] + ".tmp.so"
-    try:
-        with os.fdopen(fd, "w") as f:
-            f.write(c_source)
-        with INSTR.phase("cc_compile"):
-            r = subprocess.run([cc, *flags, src, "-o", tmp_so],
-                               capture_output=True, text=True, timeout=300)
-        if r.returncode != 0:
-            raise RuntimeError(f"cc failed: {r.stderr.strip()[:500]}")
-        os.replace(tmp_so, out_path)
-    finally:
-        for p in (src, tmp_so):
-            if os.path.exists(p):
-                try:
-                    os.unlink(p)
-                except OSError:
-                    pass
+    with _artifact_lock(out_path):
+        if os.path.exists(out_path):
+            return False
+        fd, src = tempfile.mkstemp(dir=d, suffix=".c")
+        tmp_so = src[:-2] + ".tmp.so"
+        try:
+            with os.fdopen(fd, "w") as f:
+                f.write(c_source)
+            with INSTR.phase("cc_compile"):
+                r = subprocess.run([cc, *flags, src, "-o", tmp_so],
+                                   capture_output=True, text=True, timeout=300)
+            if r.returncode != 0:
+                raise RuntimeError(f"cc failed: {r.stderr.strip()[:500]}")
+            INSTR.count("native.compiles")
+            os.replace(tmp_so, out_path)
+        finally:
+            for p in (src, tmp_so):
+                if os.path.exists(p):
+                    try:
+                        os.unlink(p)
+                    except OSError:
+                        pass
+        return True
 
 
 def _load_symbol(path: str):
@@ -173,32 +265,18 @@ def _load_symbol(path: str):
     return lib.kernel
 
 
-def compile_native_function(c_source: str, want_openmp: bool,
-                            cache_mode: str):
-    """Compile ``c_source`` and return (ctypes function, used_openmp).
-
-    Raises on toolchain absence or compile failure — callers translate
-    that into the Python fallback."""
-    cc = find_compiler()
-    if cc is None:
-        raise RuntimeError("no C compiler on PATH (set REPRO_CC to override)")
-    use_omp = want_openmp and openmp_supported(cc)
-    flags = tuple(_CFLAGS + (["-fopenmp"] if use_omp else []))
-    digest = artifact_key(c_source, flags, cc)
-
-    fn = _SO_CACHE.get(digest)
-    if fn is not None:
-        INSTR.count("native.so_cache.hits.memory")
-        return fn, use_omp
-
+def _build_and_load(cc: str, c_source: str, flags: Tuple[str, ...],
+                    digest: str, cache_mode: str):
+    """Materialize the artifact for ``digest`` (disk layer first in disk
+    mode, scratch dir otherwise) and load its ``kernel`` symbol.  Raises
+    on compile/load failure."""
     if cache_mode == "disk":
         path = _disk_so_path(digest)
         if os.path.exists(path):
             try:
                 fn = _load_symbol(path)
                 INSTR.count("native.so_cache.hits.disk")
-                _SO_CACHE[digest] = fn
-                return fn, use_omp
+                return fn
             except (OSError, AttributeError):
                 # corrupt artifact: treat as a miss and rebuild it
                 INSTR.count("native.so_cache.corrupt")
@@ -207,24 +285,92 @@ def compile_native_function(c_source: str, want_openmp: bool,
                 except OSError:
                     pass
         try:
-            _compile_so(cc, c_source, flags, path)
+            built = _compile_so(cc, c_source, flags, path)
             fn = _load_symbol(path)
+            if not built:
+                # another process won the artifact flock and built it
+                INSTR.count("native.so_cache.hits.disk")
+            return fn
         except OSError:
-            # cache dir unwritable: fall through to the scratch dir
-            path = None
-            fn = None
-        if fn is not None:
-            INSTR.count("native.compiles")
-            _SO_CACHE[digest] = fn
-            return fn, use_omp
-
+            pass  # cache dir unwritable: fall through to the scratch dir
     out = os.path.join(_scratch_dir(), digest + ".so")
     if not os.path.exists(out):
         _compile_so(cc, c_source, flags, out)
-        INSTR.count("native.compiles")
-    fn = _load_symbol(out)
-    _SO_CACHE[digest] = fn
-    return fn, use_omp
+    return _load_symbol(out)
+
+
+def compile_native_function(c_source: str, want_openmp: bool,
+                            cache_mode: str):
+    """Compile ``c_source`` and return (ctypes function, used_openmp).
+
+    Single-flight: concurrent requests for the same digest coalesce onto
+    one toolchain invocation (see module docstring).  Raises on toolchain
+    absence or compile failure — callers translate that into the Python
+    fallback."""
+    cc = find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH (set REPRO_CC to override)")
+    use_omp = want_openmp and openmp_supported(cc)
+    flags = tuple(_CFLAGS + (["-fopenmp"] if use_omp else []))
+    digest = artifact_key(c_source, flags, cc)
+
+    with _SO_LOCK:
+        fn = _SO_CACHE.get(digest)
+    if fn is not None:
+        INSTR.count("native.so_cache.hits.memory")
+        return fn, use_omp
+
+    retried = False
+    while True:
+        with _INFLIGHT_LOCK:
+            with _SO_LOCK:
+                fn = _SO_CACHE.get(digest)
+            if fn is not None:
+                INSTR.count("native.so_cache.hits.memory")
+                return fn, use_omp
+            flight = _INFLIGHT.get(digest)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                _INFLIGHT[digest] = flight
+
+        if leader:
+            try:
+                fn = _build_and_load(cc, c_source, flags, digest, cache_mode)
+                with _SO_LOCK:
+                    _SO_CACHE[digest] = fn
+                return fn, use_omp
+            except BaseException as e:
+                flight.error = e
+                raise
+            finally:
+                with _INFLIGHT_LOCK:
+                    _INFLIGHT.pop(digest, None)
+                flight.event.set()
+
+        # follower: wait for the leader, then read its result
+        INSTR.count("native.singleflight.waits")
+        if not flight.event.wait(singleflight_timeout()):
+            # leader wedged (toolchain hang): compile independently
+            # rather than propagate the stall
+            INSTR.count("native.singleflight.wait_timeouts")
+            fn = _build_and_load(cc, c_source, flags, digest, cache_mode)
+            with _SO_LOCK:
+                _SO_CACHE[digest] = fn
+            return fn, use_omp
+        with _SO_LOCK:
+            fn = _SO_CACHE.get(digest)
+        if fn is not None:
+            INSTR.count("native.so_cache.hits.coalesced")
+            return fn, use_omp
+        # the leader failed; retry the compile once ourselves before
+        # giving up (observable via the counters either way)
+        INSTR.count("native.singleflight.leader_failures")
+        if retried:
+            raise RuntimeError(
+                f"native compile failed after single-flight retry: "
+                f"{flight.error}")
+        retried = True
 
 
 # ---------------------------------------------------------------------------

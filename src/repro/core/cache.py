@@ -32,6 +32,14 @@ cache directory so separate processes share compiles.  Generated Python
 source is published into the entry on first codegen and replayed
 byte-identically on later hits.
 
+**Concurrency** — the LRU bookkeeping is guarded by the cache's RLock and
+every entry carries its own RLock serializing mutation (re-ranking, guard
+simplification, source publication), so concurrent ``compile_kernel``
+calls — e.g. through :func:`repro.core.service.compile_many` — share
+entries safely.  Re-ranking never mutates plans in place (costs are
+computed with a guard-count override), so a thread executing a cached
+plan is never perturbed by a sibling's rerank.
+
 Control: ``compile_kernel(..., cache="off"|"memory"|"disk")``, default
 taken from ``REPRO_COMPILE_CACHE`` (default ``"memory"``).  With
 ``"off"`` the pipeline runs untouched — zero behavior change.
@@ -43,6 +51,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -135,60 +144,92 @@ def stats_signature(bindings: Mapping[str, SparseFormat]) -> Tuple:
 class CacheEntry:
     """One memoized search: the ranked lowered plans (cost-sorted at record
     time), which index was selected, the statistics that ranking saw, and
-    the generated source per selected plan (published lazily)."""
+    the generated source per selected plan (published lazily).
+
+    ``_lock`` serializes every mutation of the entry (re-ranking, guard
+    simplification, source publication) — hits on the same structural key
+    from concurrent threads share this object.  It is re-created on
+    unpickling (locks don't pickle).
+
+    The per-plan side tables (``simplified``, ``sources``, ``fns``,
+    ``guard_snapshots``) are keyed by *stable ids* — each plan's position
+    in the record-time ranking — not by current ranked position.  A
+    statistics-shift rerank permutes ``ranked``/``ids`` only, so an id a
+    caller obtained from :func:`lookup` stays valid even if a sibling
+    thread reranks the entry before the caller touches the side tables."""
 
     def __init__(self, ranked, selected_index: int, pick: str,
                  stats_sig: Tuple, search_stats: SearchStats):
+        self._lock = threading.RLock()
         self.ranked = list(ranked)            # [(cost, candidate, plan)]
+        self.ids = list(range(len(self.ranked)))  # stable id per ranked slot
         self.selected_index = selected_index
         self.pick = pick
         self.stats_sig = stats_sig
         self.search_stats = search_stats
-        self.simplified = set()               # ranked indexes already guard-simplified
-        self.sources: Dict[int, str] = {}     # ranked index -> generated source
-        self.fns: Dict[int, object] = {}      # ranked index -> exec'd kernel (transient)
+        self.simplified = set()               # stable ids already guard-simplified
+        self.sources: Dict[int, str] = {}     # stable id -> generated source
+        self.fns: Dict[int, object] = {}      # stable id -> exec'd kernel (transient)
         # pristine per-exec-node guard lists, captured before any guard
         # simplification, so re-ranking can cost plans the way a fresh
-        # search would (simplification mutates plans in place)
+        # search would (simplification rewrites the live guard lists)
         self.guard_snapshots: Dict[int, List[List]] = {
             i: [list(n.guards) for n in _exec_nodes(plan)]
             for i, (_c, _cand, plan) in enumerate(self.ranked)
         }
 
+    def selected_id(self) -> int:
+        """Stable id of the currently selected ranked slot."""
+        return self.ids[self.selected_index]
+
     def __getstate__(self):
         state = dict(self.__dict__)
         state["fns"] = {}                     # callables don't pickle; rebuilt from source
+        state.pop("_lock", None)
         return state
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self._lock = threading.RLock()
+        # entries pickled before stable ids existed kept their side tables
+        # aligned with current ranked positions — identical to ids 0..n-1
+        self.__dict__.setdefault("ids", list(range(len(self.ranked))))
 
 
 class CompileCache:
-    """In-memory LRU of :class:`CacheEntry`, with an optional disk layer."""
+    """In-memory LRU of :class:`CacheEntry`, with an optional disk layer.
+
+    The LRU bookkeeping (lookup reorders, insert evicts) is guarded by an
+    RLock so concurrent compilations never corrupt the OrderedDict; entry
+    *contents* are guarded separately by each entry's own lock."""
 
     def __init__(self, capacity: int = 256):
         self.capacity = capacity
         self.entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # -- memory layer ----------------------------------------------------
     def get(self, key: str) -> Optional[CacheEntry]:
-        entry = self.entries.get(key)
-        if entry is not None:
-            self.entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self.entries.get(key)
+            if entry is not None:
+                self.entries.move_to_end(key)
+            return entry
 
     def put(self, key: str, entry: CacheEntry) -> None:
-        self.entries[key] = entry
-        self.entries.move_to_end(key)
-        while len(self.entries) > self.capacity:
-            self.entries.popitem(last=False)
+        with self._lock:
+            self.entries[key] = entry
+            self.entries.move_to_end(key)
+            while len(self.entries) > self.capacity:
+                self.entries.popitem(last=False)
 
     def clear(self) -> None:
-        self.entries.clear()
+        with self._lock:
+            self.entries.clear()
 
     def __len__(self) -> int:
-        return len(self.entries)
+        with self._lock:
+            return len(self.entries)
 
     # -- disk layer ------------------------------------------------------
     def disk_dir(self) -> str:
@@ -281,19 +322,15 @@ def _pristine_cost(entry: CacheEntry, idx: int, plan,
                    fmts: Mapping[str, SparseFormat]) -> float:
     """Cost the plan as a fresh search would see it: guard simplification
     happens after costing, so simplified plans are re-costed with their
-    recorded pre-simplification guards swapped back in."""
+    recorded pre-simplification guard *counts* overriding the live ones.
+    The override (rather than swapping guards in place) keeps re-ranking
+    read-only on the plan — other threads may be executing it."""
     snap = entry.guard_snapshots.get(idx)
     if idx not in entry.simplified or snap is None:
         return plan_cost(plan, param_values, fmts=fmts)
     nodes = _exec_nodes(plan)
-    saved = [n.guards for n in nodes]
-    for n, g in zip(nodes, snap):
-        n.guards = list(g)
-    try:
-        return plan_cost(plan, param_values, fmts=fmts)
-    finally:
-        for n, g in zip(nodes, saved):
-            n.guards = g
+    guard_counts = {id(n): len(g) for n, g in zip(nodes, snap)}
+    return plan_cost(plan, param_values, fmts=fmts, guard_counts=guard_counts)
 
 
 def lookup(
@@ -306,7 +343,8 @@ def lookup(
     """Serve a memoized search for this structural key, or None.
 
     Returns the reconstructed :class:`SearchResult` plus the entry and the
-    ranked index selected (for source replay/publication)."""
+    *stable id* of the selected plan (for source replay/publication; valid
+    across concurrent reranks)."""
     INSTR.count("cache.lookups")
     entry = COMPILE_CACHE.get(key)
     layer = "memory"
@@ -319,55 +357,57 @@ def lookup(
         INSTR.count("cache.misses")
         return None
 
-    new_sig = stats_signature(bindings)
-    stats = entry.search_stats.clone()
-    stats.from_cache = True
+    # entry contents (stats_sig, ranked order, side tables) are shared with
+    # every thread that hit this key: serialize the compare-and-rerank
+    with entry._lock:
+        new_sig = stats_signature(bindings)
+        stats = entry.search_stats.clone()
+        stats.from_cache = True
 
-    if new_sig == entry.stats_sig:
+        if new_sig == entry.stats_sig:
+            INSTR.count(f"cache.hits.{layer}")
+            INSTR.count("cache.hits.exact")
+            pos = entry.selected_index
+            cost, cand, plan = entry.ranked[pos]
+            return (SearchResult(plan, cost, cand, stats, list(entry.ranked)),
+                    entry, entry.ids[pos])
+
+        # Statistics shifted: re-cost the memoized plans against the new
+        # instances and re-select, exactly as a fresh search would rank them.
         INSTR.count(f"cache.hits.{layer}")
-        INSTR.count("cache.hits.exact")
-        idx = entry.selected_index
-        cost, cand, plan = entry.ranked[idx]
-        return SearchResult(plan, cost, cand, stats, list(entry.ranked)), entry, idx
+        INSTR.count("cache.hits.rerank")
+        stats.reranked = True
+        if entry.pick == "first":
+            # "first" never consulted costs; the selection is structure-determined.
+            pos = entry.selected_index
+            sid = entry.ids[pos]
+            _old, cand, plan = entry.ranked[pos]
+            cost = _pristine_cost(entry, sid, plan, param_values, dict(bindings))
+            entry.ranked[pos] = (cost, cand, plan)
+            entry.stats_sig = new_sig
+            return (SearchResult(plan, cost, cand, stats, list(entry.ranked)),
+                    entry, sid)
 
-    # Statistics shifted: re-cost the memoized plans against the new
-    # instances and re-select, exactly as a fresh search would rank them.
-    INSTR.count(f"cache.hits.{layer}")
-    INSTR.count("cache.hits.rerank")
-    stats.reranked = True
-    if entry.pick == "first":
-        # "first" never consulted costs; the selection is structure-determined.
-        idx = entry.selected_index
-        _old, cand, plan = entry.ranked[idx]
-        cost = _pristine_cost(entry, idx, plan, param_values, dict(bindings))
-        entry.ranked[idx] = (cost, cand, plan)
+        fmts = dict(bindings)
+        rescored = [
+            (_pristine_cost(entry, entry.ids[pos], plan, param_values, fmts),
+             entry.ids[pos], cand, plan)
+            for pos, (_oc, cand, plan) in enumerate(entry.ranked)
+        ]
+        rescored.sort(key=lambda t: (t[0], t[1]))  # record-time rank breaks ties
+        old_selected = entry.ranked[entry.selected_index][2]
+
+        # permute the ranking only — the side tables are keyed by stable id
+        entry.ranked = [(c, cand, plan) for c, _sid, cand, plan in rescored]
+        entry.ids = [sid for _c, sid, _cand, _p in rescored]
         entry.stats_sig = new_sig
-        return SearchResult(plan, cost, cand, stats, list(entry.ranked)), entry, idx
+        entry.selected_index = _select(entry.ranked, pick)
 
-    fmts = dict(bindings)
-    rescored = [
-        (_pristine_cost(entry, old_i, plan, param_values, fmts), old_i, cand, plan)
-        for old_i, (_oc, cand, plan) in enumerate(entry.ranked)
-    ]
-    rescored.sort(key=lambda t: (t[0], t[1]))  # old rank breaks exact ties
-    old_selected = entry.ranked[entry.selected_index][2]
-    reordered = [(c, cand, plan) for c, _oi, cand, plan in rescored]
-
-    # remap the per-plan side tables through the permutation
-    perm = {old_i: new_i for new_i, (_c, old_i, _cand, _p) in enumerate(rescored)}
-    entry.sources = {perm[i]: s for i, s in entry.sources.items()}
-    entry.fns = {perm[i]: f for i, f in entry.fns.items()}
-    entry.simplified = {perm[i] for i in entry.simplified}
-    entry.guard_snapshots = {perm[i]: g for i, g in entry.guard_snapshots.items()}
-    entry.ranked = reordered
-    entry.stats_sig = new_sig
-    entry.selected_index = _select(reordered, pick)
-
-    cost, cand, plan = entry.ranked[entry.selected_index]
-    if plan is not old_selected:
-        INSTR.count("cache.rerank.changed")
-    return (SearchResult(plan, cost, cand, stats, list(entry.ranked)),
-            entry, entry.selected_index)
+        cost, cand, plan = entry.ranked[entry.selected_index]
+        if plan is not old_selected:
+            INSTR.count("cache.rerank.changed")
+        return (SearchResult(plan, cost, cand, stats, list(entry.ranked)),
+                entry, entry.selected_id())
 
 
 def record(
@@ -376,8 +416,12 @@ def record(
     result: SearchResult,
     bindings: Mapping[str, SparseFormat],
     pick: str,
-) -> CacheEntry:
-    """Memoize a fresh search result under its structural key."""
+) -> Tuple[CacheEntry, int]:
+    """Memoize a fresh search result under its structural key.
+
+    Returns the entry and the stable id of the selected plan (equal to its
+    record-time rank; safe to use after the entry becomes visible to — and
+    possibly reranked by — concurrent threads)."""
     selected = next(
         i for i, (_c, _cand, plan) in enumerate(result.ranked)
         if plan is result.plan
@@ -388,4 +432,4 @@ def record(
     INSTR.count("cache.stores")
     if mode == "disk":
         COMPILE_CACHE.disk_put(key, entry)
-    return entry
+    return entry, selected

@@ -18,6 +18,7 @@ new instances' statistics shifted) instead of re-running the search.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Mapping, Optional
 
 from repro.core.plan import Plan
@@ -56,6 +57,11 @@ class CompiledKernel:
         self._cache_publish = None
         self._native = None
         self._native_tried = False
+        # serializes lazy materialization (generated Python, native bind)
+        # when the same kernel object is driven from several threads;
+        # reentrant because the native bind lowers the generated Python
+        # source and so re-enters callable() on this same kernel
+        self._materialize_lock = threading.RLock()
 
     # -- execution -----------------------------------------------------------
     def run(self, arrays: Mapping[str, object], params: Mapping[str, int]) -> None:
@@ -99,21 +105,23 @@ class CompiledKernel:
         if self.backend != "c":
             return None
         if not self._native_tried:
-            self._native_tried = True
-            from repro.codegen.native import NativeLoweringError
-            from repro.core import backend as be
+            with self._materialize_lock:
+                if not self._native_tried:
+                    from repro.codegen.native import NativeLoweringError
+                    from repro.core import backend as be
 
-            try:
-                self._native = be.bind_kernel(self, self.parallel,
-                                              self._cache_mode)
-                self.backend_used = (
-                    "c+openmp" if self._native.used_openmp else "c")
-            except NativeLoweringError as e:
-                self.fallback_reason = f"lowering: {e}"
-                be.native_fallback("lowering", str(e))
-            except Exception as e:
-                self.fallback_reason = f"toolchain: {e}"
-                be.native_fallback("toolchain", str(e))
+                    try:
+                        self._native = be.bind_kernel(self, self.parallel,
+                                                      self._cache_mode)
+                        self.backend_used = (
+                            "c+openmp" if self._native.used_openmp else "c")
+                    except NativeLoweringError as e:
+                        self.fallback_reason = f"lowering: {e}"
+                        be.native_fallback("lowering", str(e))
+                    except Exception as e:
+                        self.fallback_reason = f"toolchain: {e}"
+                        be.native_fallback("toolchain", str(e))
+                    self._native_tried = True
         return self._native
 
     @property
@@ -125,12 +133,16 @@ class CompiledKernel:
 
     def callable(self):
         if self._pyfunc is None:
-            from repro.codegen.pysource import compile_plan_to_python
+            with self._materialize_lock:
+                if self._pyfunc is None:
+                    from repro.codegen.pysource import compile_plan_to_python
 
-            self._pysource, self._pyfunc = compile_plan_to_python(self.plan)
-            if self._cache_publish is not None:
-                self._cache_publish(self._pysource, self._pyfunc)
-                self._cache_publish = None
+                    src, fn = compile_plan_to_python(self.plan)
+                    if self._cache_publish is not None:
+                        self._cache_publish(src, fn)
+                        self._cache_publish = None
+                    self._pysource = src
+                    self._pyfunc = fn    # publish last: readers gate on it
         return self._pyfunc
 
     @property
@@ -303,9 +315,11 @@ def compile_kernel(
             hit = cc.lookup(key, mode, bindings, param_values, pick)
         if hit is not None:
             result, entry, idx = hit
-            if simplify_guards and idx not in entry.simplified:
-                result.plan.simplify_guards(dict(param_values))
-                entry.simplified.add(idx)
+            if simplify_guards:
+                with entry._lock:
+                    if idx not in entry.simplified:
+                        result.plan.simplify_guards(dict(param_values))
+                        entry.simplified.add(idx)
             kernel = _kernel_from_entry(program, bindings, result, entry, idx,
                                         mode, key, backend, parallel)
             if backend == "c":
@@ -318,16 +332,20 @@ def compile_kernel(
     if mode != "off":
         # record before guard simplification so the entry snapshots
         # pristine guards (simplification mutates the selected plan)
-        entry = cc.record(key, mode, result, bindings, pick)
-    if simplify_guards:
-        result.plan.simplify_guards(dict(param_values))
+        entry, sid = cc.record(key, mode, result, bindings, pick)
+    if entry is None:
+        if simplify_guards:
+            result.plan.simplify_guards(dict(param_values))
     kernel = CompiledKernel(program, bindings, result, backend=backend,
                             parallel=parallel, cache_mode=mode)
     if entry is not None:
-        if simplify_guards:
-            entry.simplified.add(entry.selected_index)
-        kernel._cache_publish = _source_publisher(entry, entry.selected_index,
-                                                  mode, key)
+        # under the entry lock: once record() published the entry, a
+        # concurrent hit on this key may race us to simplify the same plan
+        with entry._lock:
+            if simplify_guards and sid not in entry.simplified:
+                result.plan.simplify_guards(dict(param_values))
+                entry.simplified.add(sid)
+            kernel._cache_publish = _source_publisher(entry, sid, mode, key)
     if backend == "c":
         kernel.native()                  # compile eagerly; may fall back
     return kernel
@@ -338,19 +356,20 @@ def _kernel_from_entry(program, bindings, result, entry, idx, mode, key,
     """Build a kernel from a cache hit, replaying memoized source."""
     kernel = CompiledKernel(program, bindings, result, backend=backend,
                             parallel=parallel, cache_mode=mode)
-    src = entry.sources.get(idx)
-    if src is not None:
-        fn = entry.fns.get(idx)
-        if fn is None:
-            from repro.codegen.pysource import source_to_callable
+    with entry._lock:
+        src = entry.sources.get(idx)
+        if src is not None:
+            fn = entry.fns.get(idx)
+            if fn is None:
+                from repro.codegen.pysource import source_to_callable
 
-            fn = source_to_callable(src)
-            entry.fns[idx] = fn
-        kernel._pysource = src
-        kernel._pyfunc = fn
-        INSTR.count("cache.source_replays")
-    else:
-        kernel._cache_publish = _source_publisher(entry, idx, mode, key)
+                fn = source_to_callable(src)
+                entry.fns[idx] = fn
+            kernel._pysource = src
+            kernel._pyfunc = fn
+            INSTR.count("cache.source_replays")
+        else:
+            kernel._cache_publish = _source_publisher(entry, idx, mode, key)
     return kernel
 
 
@@ -360,9 +379,10 @@ def _source_publisher(entry, idx, mode, key):
     from repro.core.cache import COMPILE_CACHE
 
     def publish(src: str, fn) -> None:
-        entry.sources[idx] = src
-        entry.fns[idx] = fn
-        if mode == "disk":
-            COMPILE_CACHE.disk_put(key, entry)
+        with entry._lock:
+            entry.sources[idx] = src
+            entry.fns[idx] = fn
+            if mode == "disk":
+                COMPILE_CACHE.disk_put(key, entry)
 
     return publish

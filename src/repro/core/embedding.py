@@ -26,6 +26,7 @@ positive component must be enumerated in increasing order.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.analysis.dependence import DependenceClass, DST, SRC
@@ -187,9 +188,13 @@ def _emb_signature(embs: Sequence[DimEmbedding]) -> Tuple:
 _PAIR_MEMO: Dict[Tuple, Tuple] = {}
 _PAIR_MEMO_CAP = 1 << 16
 
+#: guards flush-on-overflow and clear; lookups stay lock-free ``dict.get``
+_PAIR_MEMO_LOCK = threading.Lock()
+
 
 def clear_pair_memo() -> None:
-    _PAIR_MEMO.clear()
+    with _PAIR_MEMO_LOCK:
+        _PAIR_MEMO.clear()
 
 
 def _analyze_pair_core(poly: System, deltas: Sequence[LinExpr], ndims: int):
@@ -210,9 +215,10 @@ def _analyze_pair_core(poly: System, deltas: Sequence[LinExpr], ndims: int):
         # freeze the direction sets: the memoized tuple is shared across
         # callers and must never be mutated through a returned reference
         result = (result[0], frozenset(result[1]), frozenset(result[2]), result[3])
-        if len(_PAIR_MEMO) >= _PAIR_MEMO_CAP:
-            _PAIR_MEMO.clear()
-        _PAIR_MEMO[key] = result
+        with _PAIR_MEMO_LOCK:
+            if len(_PAIR_MEMO) >= _PAIR_MEMO_CAP:
+                _PAIR_MEMO.clear()
+            _PAIR_MEMO[key] = result
         return result
 
     need_inc: Set[int] = set()

@@ -121,16 +121,23 @@ def _search_cost(fmt: SparseFormat, path_id: str, step: int, avg_width: float) -
 
 
 def plan_cost(plan: Plan, param_values: Optional[Mapping[str, int]] = None,
-              fmts: Optional[Mapping[str, SparseFormat]] = None) -> float:
+              fmts: Optional[Mapping[str, SparseFormat]] = None,
+              guard_counts: Optional[Mapping[int, int]] = None) -> float:
     """Estimated execution cost of a plan on the bound matrix instances.
 
     ``fmts`` optionally overrides the format instance consulted for each
     array name (falling back to the instance baked into the plan's refs) —
     the compilation cache uses this to re-rank a structurally-identical
     cached plan against the statistics of a *new* matrix instance without
-    rebuilding the plan."""
+    rebuilding the plan.
+
+    ``guard_counts`` optionally overrides the number of guards charged per
+    :class:`ExecNode`, keyed by ``id(node)`` — the cache uses this to cost
+    an already guard-simplified plan as if its pristine guards were still
+    attached, without mutating the (possibly concurrently executing) plan."""
     param_values = dict(param_values or {})
     fmts = fmts or {}
+    guard_counts = guard_counts or {}
 
     def fmt_of(ref):
         return fmts.get(ref.array, ref.fmt)
@@ -166,7 +173,8 @@ def plan_cost(plan: Plan, param_values: Optional[Mapping[str, int]] = None,
 
     def node_cost(node: PlanNode) -> float:
         if isinstance(node, ExecNode):
-            return P.EXEC_COST + P.GUARD_COST * len(node.guards)
+            nguards = guard_counts.get(id(node), len(node.guards))
+            return P.EXEC_COST + P.GUARD_COST * nguards
         if isinstance(node, VarLoopNode):
             lo = _eval_guess(node.lo, param_values)
             hi = _eval_guess(node.hi, param_values)

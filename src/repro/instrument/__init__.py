@@ -9,6 +9,17 @@ increments and the timers a pair of ``perf_counter`` calls per phase, so
 the overhead is negligible next to the exact-rational polyhedral work they
 measure.
 
+**Thread model** — the registry is safe under concurrent compilation
+(:func:`repro.core.service.compile_many` drives the pipeline from a
+worker pool).  Each thread accumulates into its own private shard
+(``threading.local``), so the hot path stays a lock-free dictionary
+increment with no lost updates; readers (:meth:`~Instrumentation.get`,
+:meth:`~Instrumentation.snapshot`, the report) merge the shards of every
+thread that ever reported, including threads that have since exited.
+:meth:`~Instrumentation.thread_snapshot` exposes the calling thread's
+shard alone, which the search driver diffs to attribute polyhedral work
+to one search even while sibling threads compile concurrently.
+
 Set ``REPRO_TRACE=1`` in the environment to get a rendered report on
 interpreter exit (and ``repro.instrument.report()`` returns the same
 rendering on demand at any point).
@@ -21,8 +32,10 @@ Counter namespaces used by the compiler:
 - ``cache.*``           — compilation-cache hits/misses/invalidations
 - ``codegen.*``         — specialized Python source generation
 - ``plan.*``            — plan lowering
-- ``native.*``          — C backend: compiles, .so-cache traffic, fallbacks
+- ``native.*``          — C backend: compiles, .so-cache traffic,
+                          single-flight coalescing, fallbacks
 - ``backend.run.*``     — per-call dispatch (native / python / interp)
+- ``service.*``         — compile_many batch driver traffic
 """
 
 from __future__ import annotations
@@ -30,33 +43,105 @@ from __future__ import annotations
 import atexit
 import os
 import sys
+import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Tuple
+
+
+def _copy_live(d: Dict) -> Dict:
+    """Copy a dict another thread may be growing lock-free.  Growth can
+    make the copy raise ``RuntimeError`` (size changed mid-iteration);
+    counters only ever gain keys, so retrying converges immediately."""
+    for _ in range(8):
+        try:
+            return dict(d)
+        except RuntimeError:
+            continue
+    return {k: d[k] for k in list(d.keys()) if k in d}
 
 
 class Instrumentation:
-    """A process-wide registry of named counters and accumulated timers."""
+    """A process-wide registry of named counters and accumulated timers,
+    sharded per thread for lock-free writes (see module docstring)."""
 
-    __slots__ = ("counters", "timers")
+    __slots__ = ("_lock", "_tls", "_shards", "_base_counters", "_base_timers")
 
     def __init__(self):
-        self.counters: Dict[str, int] = {}
-        self.timers: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        # live shards: (owning thread, its counters, its timers); shards of
+        # finished threads are folded into the base dicts opportunistically
+        self._shards = []
+        self._base_counters: Dict[str, int] = {}
+        self._base_timers: Dict[str, float] = {}
+
+    # -- sharding ---------------------------------------------------------
+    def _shard(self) -> Tuple[Dict[str, int], Dict[str, float]]:
+        try:
+            return self._tls.shard
+        except AttributeError:
+            counters: Dict[str, int] = {}
+            timers: Dict[str, float] = {}
+            self._tls.shard = (counters, timers)
+            with self._lock:
+                self._compact_locked()
+                self._shards.append(
+                    (threading.current_thread(), counters, timers))
+            return self._tls.shard
+
+    def _compact_locked(self) -> None:
+        """Fold shards whose owning thread has finished into the base
+        dicts (a finished thread can never write again)."""
+        cur = threading.current_thread()
+        live = []
+        for t, counters, timers in self._shards:
+            if t is cur or t.is_alive():
+                live.append((t, counters, timers))
+                continue
+            for k, v in counters.items():
+                self._base_counters[k] = self._base_counters.get(k, 0) + v
+            for k, v in timers.items():
+                self._base_timers[k] = self._base_timers.get(k, 0.0) + v
+        self._shards[:] = live
+
+    def _merged(self) -> Tuple[Dict[str, int], Dict[str, float]]:
+        with self._lock:
+            counters = dict(self._base_counters)
+            timers = dict(self._base_timers)
+            shards = [(c, t) for _t, c, t in self._shards]
+        for c, t in shards:
+            for k, v in _copy_live(c).items():
+                counters[k] = counters.get(k, 0) + v
+            for k, v in _copy_live(t).items():
+                timers[k] = timers.get(k, 0.0) + v
+        return counters, timers
 
     # -- counters ---------------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Merged view across every thread's shard."""
+        return self._merged()[0]
+
+    @property
+    def timers(self) -> Dict[str, float]:
+        """Merged view across every thread's shard."""
+        return self._merged()[1]
+
     def count(self, name: str, n: int = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + n
+        c = self._shard()[0]
+        c[name] = c.get(name, 0) + n
 
     def get(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        return self._merged()[0].get(name, 0)
 
     # -- timers -----------------------------------------------------------
     def add_time(self, name: str, seconds: float) -> None:
-        self.timers[name] = self.timers.get(name, 0.0) + seconds
+        t = self._shard()[1]
+        t[name] = t.get(name, 0.0) + seconds
 
     def time(self, name: str) -> float:
-        return self.timers.get(name, 0.0)
+        return self._merged()[1].get(name, 0.0)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -71,13 +156,28 @@ class Instrumentation:
 
     # -- management -------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict]:
-        """A point-in-time copy ``{"counters": {...}, "timers": {...}}`` —
-        diff two snapshots to attribute work to one pipeline run."""
-        return {"counters": dict(self.counters), "timers": dict(self.timers)}
+        """A point-in-time merged copy ``{"counters": {...}, "timers":
+        {...}}`` — diff two snapshots to attribute work to one pipeline
+        run (use :meth:`thread_snapshot` when other threads are active)."""
+        counters, timers = self._merged()
+        return {"counters": counters, "timers": timers}
+
+    def thread_snapshot(self) -> Dict[str, Dict]:
+        """Like :meth:`snapshot` but covering only the calling thread's
+        accumulation, so deltas are immune to concurrent siblings."""
+        counters, timers = self._shard()
+        return {"counters": dict(counters), "timers": dict(timers)}
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timers.clear()
+        """Zero every counter and timer, including other threads' shards.
+        (Resetting while other threads are mid-increment is inherently
+        approximate; tests reset at quiescent points.)"""
+        with self._lock:
+            self._base_counters.clear()
+            self._base_timers.clear()
+            for _t, counters, timers in self._shards:
+                counters.clear()
+                timers.clear()
 
 
 #: the process-wide registry every compiler stage reports into
@@ -89,6 +189,7 @@ counter = INSTR.get
 add_time = INSTR.add_time
 phase = INSTR.phase
 snapshot = INSTR.snapshot
+thread_snapshot = INSTR.thread_snapshot
 reset = INSTR.reset
 
 

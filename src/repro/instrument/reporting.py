@@ -23,17 +23,21 @@ def _grouped(names: List[str]) -> List[str]:
 
 def render_report(instr: "Instrumentation") -> str:
     """An aligned two-section report of all counters and timers."""
+    # one merged snapshot: the views are recomputed across thread shards on
+    # every attribute access, so read them exactly once
+    snap = instr.snapshot()
+    timers, counters = snap["timers"], snap["counters"]
     lines: List[str] = ["== repro pipeline instrumentation =="]
-    if instr.timers:
+    if timers:
         lines.append("-- phase timers --")
-        width = max(len(n) for n in instr.timers)
-        for name in _grouped(list(instr.timers)):
-            lines.append(f"  {name:<{width}s}  {_format_seconds(instr.timers[name])}")
-    if instr.counters:
+        width = max(len(n) for n in timers)
+        for name in _grouped(list(timers)):
+            lines.append(f"  {name:<{width}s}  {_format_seconds(timers[name])}")
+    if counters:
         lines.append("-- counters --")
-        width = max(len(n) for n in instr.counters)
-        for name in _grouped(list(instr.counters)):
-            lines.append(f"  {name:<{width}s}  {instr.counters[name]:>12d}")
+        width = max(len(n) for n in counters)
+        for name in _grouped(list(counters)):
+            lines.append(f"  {name:<{width}s}  {counters[name]:>12d}")
     if len(lines) == 1:
         lines.append("  (no activity recorded)")
     return "\n".join(lines)

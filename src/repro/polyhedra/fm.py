@@ -32,6 +32,7 @@ semantics-preserving (same question, same answer) and bounded; call
 from __future__ import annotations
 
 import itertools
+import threading
 from fractions import Fraction
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -54,6 +55,10 @@ _MEMO_CAP = 1 << 17
 _FEASIBLE_MEMO: Dict[FrozenSet, bool] = {}
 _PROJECT_MEMO: Dict[Tuple[FrozenSet, FrozenSet], System] = {}
 
+#: guards insertion/eviction (the eviction loop iterates the dict, which a
+#: concurrent insert would break); lookups stay lock-free ``dict.get``
+_MEMO_LOCK = threading.Lock()
+
 
 def system_signature(system: System) -> FrozenSet:
     """Canonical, order-insensitive signature of a constraint system.
@@ -65,16 +70,18 @@ def system_signature(system: System) -> FrozenSet:
 
 
 def _memo_put(memo: Dict, key, value) -> None:
-    if len(memo) >= _MEMO_CAP:
-        for k in list(itertools.islice(iter(memo), len(memo) // 2)):
-            del memo[k]
-    memo[key] = value
+    with _MEMO_LOCK:
+        if len(memo) >= _MEMO_CAP:
+            for k in list(itertools.islice(iter(memo), len(memo) // 2)):
+                del memo[k]
+        memo[key] = value
 
 
 def clear_memos() -> None:
     """Drop the process-wide feasibility/projection memos."""
-    _FEASIBLE_MEMO.clear()
-    _PROJECT_MEMO.clear()
+    with _MEMO_LOCK:
+        _FEASIBLE_MEMO.clear()
+        _PROJECT_MEMO.clear()
 
 
 def _solve_equality_for(c: Constraint, v: str) -> LinExpr:

@@ -95,7 +95,9 @@ def search(
     "worst" (highest — the cost-model ablation), or "first" (first legal,
     ignoring the cost model).
     """
-    before = INSTR.snapshot()
+    # thread-local deltas: concurrent searches in sibling threads
+    # (compile_many) must not pollute this search's attribution
+    before = INSTR.thread_snapshot()
     with INSTR.phase("search.total"):
         if deps is None:
             with INSTR.phase("search.dependences"):
@@ -139,7 +141,7 @@ def search(
             cost, cand, plan = lowered[-1]
         else:
             cost, cand, plan = lowered[0]
-    after = INSTR.snapshot()
+    after = INSTR.thread_snapshot()
     delta_counts = {
         k: after["counters"].get(k, 0) - before["counters"].get(k, 0)
         for k in after["counters"]
