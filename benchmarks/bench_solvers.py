@@ -1,0 +1,139 @@
+"""End-to-end solver benchmark: status-quo per-call BLAS dispatch vs the
+SolverContext fast path (bound native kernels + reused workspaces).
+
+Both paths run the same solver with ``tol=0`` and a fixed iteration budget,
+so they execute identical iteration counts and the comparison is pure
+dispatch + kernel cost.  Results append to ``BENCH_solvers.json`` at the
+repo root via the shared :func:`benchmarks.conftest.record_bench` appender.
+
+Usage::
+
+    python benchmarks/bench_solvers.py --n 10000 --iters 100
+    python benchmarks/bench_solvers.py --n 2500 --iters 30 --check
+
+``--check`` (the CI smoke mode) exits non-zero unless the context path is
+no slower than the status quo for every measured solver and the JSON file
+is a well-formed list of records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for p in (_ROOT, os.path.join(_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np  # noqa: E402
+
+from benchmarks.conftest import record_bench  # noqa: E402
+from repro.formats import as_format  # noqa: E402
+from repro.formats.generate import laplacian_2d  # noqa: E402
+from repro.solvers import SolverContext, bicgstab, cg, jacobi  # noqa: E402
+
+BENCH_FILE = "BENCH_solvers.json"
+
+SOLVERS = {
+    "cg": cg,
+    "bicgstab": bicgstab,
+    "jacobi": jacobi,
+}
+
+
+def _best_of(fn, repeats):
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(n, iters, backend, fmt, repeats):
+    """Returns [(solver, t_status_quo, t_context, setup_seconds)]."""
+    k = max(2, int(round(math.sqrt(n))))
+    m = laplacian_2d(k)
+    n_actual = m.nrows
+    b = np.random.default_rng(1072).random(n_actual)
+
+    A_plain = as_format(m, fmt)
+    t0 = time.perf_counter()
+    ctx = SolverContext(as_format(m, fmt), ops=("mvm",), backend=backend)
+    setup = time.perf_counter() - t0
+
+    results = []
+    for name, solver in SOLVERS.items():
+        kw = dict(tol=0.0, max_iter=iters)
+        x_sq = solver(A_plain, b, **kw)[0]
+        x_cx = solver(ctx, b, **kw)[0]
+        if not np.allclose(x_sq, x_cx, atol=1e-8, rtol=1e-8):
+            raise AssertionError(f"{name}: context iterates diverged "
+                                 f"from the status-quo path")
+        t_sq = _best_of(lambda: solver(A_plain, b, **kw), repeats)
+        t_cx = _best_of(lambda: solver(ctx, b, **kw), repeats)
+        results.append((name, t_sq, t_cx))
+        for label, secs, extra in (
+            (f"solver/{name}/{fmt}/status-quo", t_sq, {}),
+            (f"solver/{name}/{fmt}/context", t_cx,
+             {"backend": ctx.backends["mvm"], "speedup": t_sq / t_cx,
+              "setup_seconds": setup}),
+        ):
+            record_bench(BENCH_FILE, label, secs, n=n_actual,
+                         iters=iters, **extra)
+        print(f"  {name:9s} status-quo {t_sq * 1e3:9.2f} ms   "
+              f"context {t_cx * 1e3:9.2f} ms   "
+              f"speedup {t_sq / t_cx:6.2f}x   "
+              f"[{ctx.backends['mvm']}]")
+    print(f"  (context setup: {setup * 1e3:.1f} ms, amortized across solves)")
+    return results
+
+
+def check_json():
+    path = os.path.join(_ROOT, BENCH_FILE)
+    with open(path) as f:
+        entries = json.load(f)
+    assert isinstance(entries, list) and entries, "empty trajectory"
+    for e in entries:
+        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
+    return len(entries)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=10000,
+                    help="target matrix dimension (rounded to a square)")
+    ap.add_argument("--iters", type=int, default=100,
+                    help="fixed iteration budget per solve")
+    ap.add_argument("--backend", default="c", choices=("c", "python"))
+    ap.add_argument("--fmt", default="csr")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats per timing")
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: fail unless the context path is no "
+                         "slower and the JSON trajectory is well-formed")
+    args = ap.parse_args(argv)
+
+    print(f"solver benchmark: n~{args.n}, {args.iters} iters, "
+          f"backend={args.backend}, fmt={args.fmt}")
+    results = run(args.n, args.iters, args.backend, args.fmt, args.repeats)
+    n_entries = check_json()
+    print(f"  {BENCH_FILE}: {n_entries} records")
+
+    if args.check:
+        slower = [name for name, t_sq, t_cx in results if t_cx > t_sq]
+        if slower:
+            print(f"FAIL: context path slower for {slower}", file=sys.stderr)
+            return 1
+        print("check ok: context path no slower for every solver")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,10 @@ Public surface:
 - :mod:`repro.formats` — formats, the view grammar, I/O, generators
   (``as_format`` / ``convert`` re-exported here);
 - :mod:`repro.blas` — hand-written and generic baseline kernels;
-- :mod:`repro.solvers` — format-independent iterative methods.
+- :mod:`repro.solvers` — format-independent iterative methods, plus
+  :class:`~repro.solvers.context.SolverContext` (re-exported here): one-time
+  kernel setup so every solver iteration runs through compiled (optionally
+  native) kernels with reused workspaces.
 """
 
 from repro.core.compiler import CompiledKernel, compile_kernel
@@ -31,6 +34,7 @@ from repro.formats.convert import as_format, convert
 from repro.ir import parse_program, program_to_text, execute_dense
 from repro.ir import kernels
 from repro.search.format_select import select_format
+from repro.solvers.context import SolverContext
 
 __version__ = "1.0.0"
 
@@ -47,5 +51,6 @@ __all__ = [
     "execute_dense",
     "kernels",
     "select_format",
+    "SolverContext",
     "__version__",
 ]

@@ -2,52 +2,136 @@
 format, generic fallback otherwise.  This is the layer the iterative
 solvers (:mod:`repro.solvers`) call — the PETSc-style arrangement the paper
 describes in Section 1 (format-independent iterative methods linked against
-format-specific BLAS)."""
+format-specific BLAS).
+
+**Kernel handles** — the module also keeps a kernel-handle cache so code
+written against this plain functional API transparently rides the solver
+fast path.  When a :class:`~repro.solvers.context.SolverContext` binds a
+compiled (possibly native) kernel to a matrix instance, it registers the
+bound entry point here; later ``mvm(A, x)`` calls for that same instance
+dispatch straight through the handle instead of the per-call table walk.
+Handles are stored on the instance itself (attribute
+``_kernel_handles``), so their lifetime is exactly the matrix's lifetime
+and the cache needs no eviction policy.  ``blas.handle.hits`` counts the
+dispatches served this way.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.blas import generic_, specialized
 from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
+
+#: instance attribute holding the per-matrix handle dict {op: callable}
+_HANDLE_ATTR = "_kernel_handles"
+
+
+def register_kernel_handle(A: SparseFormat, op: str, fn: Callable) -> None:
+    """Publish a bound kernel entry point for one operation of one matrix
+    instance.  ``fn`` has signature ``fn(x, y) -> y`` for ``mvm`` /
+    ``mvm_t`` and ``fn(b) -> b`` (in-place) for ``ts_lower`` /
+    ``ts_upper``."""
+    handles = getattr(A, _HANDLE_ATTR, None)
+    if handles is None:
+        handles = {}
+        setattr(A, _HANDLE_ATTR, handles)
+    handles[op] = fn
+
+
+def kernel_handle(A: SparseFormat, op: str) -> Optional[Callable]:
+    """The registered handle for ``(A, op)``, or None."""
+    handles = getattr(A, _HANDLE_ATTR, None)
+    if handles is None:
+        return None
+    return handles.get(op)
+
+
+def clear_kernel_handles(A: SparseFormat) -> None:
+    """Drop every handle registered for ``A`` (mainly for tests)."""
+    if getattr(A, _HANDLE_ATTR, None) is not None:
+        delattr(A, _HANDLE_ATTR)
+
+
+def _alloc(n: int, A: SparseFormat, x: np.ndarray) -> np.ndarray:
+    """A fresh output vector in the promoted dtype of the operands —
+    ``np.zeros(n)`` alone would silently force float64 onto float32/int
+    workloads (and break native-backend byte parity)."""
+    return np.zeros(n, dtype=np.result_type(A.dtype, x.dtype))
 
 
 def mvm(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
     """y = A x."""
     if y is None:
-        y = np.zeros(A.nrows)
-    fn = specialized.MVM.get(A.format_name)
-    if fn is not None:
-        return fn(A, x, y)
-    return generic_.mvm(A, x, y)
+        y = _alloc(A.nrows, A, x)
+    h = kernel_handle(A, "mvm")
+    if h is not None:
+        INSTR.count("blas.handle.hits")
+        return h(x, y)
+    return dispatch_mvm(A, x, y)
 
 
 def mvm_t(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
     """y = A^T x."""
     if y is None:
-        y = np.zeros(A.ncols)
-    fn = specialized.MVM_T.get(A.format_name)
-    if fn is not None:
-        return fn(A, x, y)
-    return generic_.mvm_t(A, x, y)
+        y = _alloc(A.ncols, A, x)
+    h = kernel_handle(A, "mvm_t")
+    if h is not None:
+        INSTR.count("blas.handle.hits")
+        return h(x, y)
+    return dispatch_mvm_t(A, x, y)
 
 
 def ts_lower_solve(L: SparseFormat, b: np.ndarray, in_place: bool = False) -> np.ndarray:
     """b := L^{-1} b (forward substitution)."""
     if not in_place:
         b = b.copy()
-    fn = specialized.TS_LOWER.get(L.format_name)
-    if fn is not None:
-        return fn(L, b)
-    return generic_.ts_lower_enum(L, b)
+    h = kernel_handle(L, "ts_lower")
+    if h is not None:
+        INSTR.count("blas.handle.hits")
+        return h(b)
+    return dispatch_ts_lower(L, b)
 
 
 def ts_upper_solve(U: SparseFormat, b: np.ndarray, in_place: bool = False) -> np.ndarray:
     """b := U^{-1} b (backward substitution)."""
     if not in_place:
         b = b.copy()
+    h = kernel_handle(U, "ts_upper")
+    if h is not None:
+        INSTR.count("blas.handle.hits")
+        return h(b)
+    return dispatch_ts_upper(U, b)
+
+
+# -- handle-free dispatch (the pre-context per-call path; also the tier the
+#    SolverContext falls back to when an operation has no compiled kernel) --
+
+def dispatch_mvm(A: SparseFormat, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    fn = specialized.MVM.get(A.format_name)
+    if fn is not None:
+        return fn(A, x, y)
+    return generic_.mvm(A, x, y)
+
+
+def dispatch_mvm_t(A: SparseFormat, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    fn = specialized.MVM_T.get(A.format_name)
+    if fn is not None:
+        return fn(A, x, y)
+    return generic_.mvm_t(A, x, y)
+
+
+def dispatch_ts_lower(L: SparseFormat, b: np.ndarray) -> np.ndarray:
+    fn = specialized.TS_LOWER.get(L.format_name)
+    if fn is not None:
+        return fn(L, b)
+    return generic_.ts_lower_enum(L, b)
+
+
+def dispatch_ts_upper(U: SparseFormat, b: np.ndarray) -> np.ndarray:
     fn = specialized.TS_UPPER.get(U.format_name)
     if fn is not None:
         return fn(U, b)

@@ -83,6 +83,18 @@ class SparseFormat:
     def nnz(self) -> int:
         raise NotImplementedError
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Dtype of the stored values (float64 for the stock constructors;
+        derived from the value array so hand-built or future non-double
+        instances report truthfully).  The BLAS layer promotes with
+        ``np.result_type(A.dtype, x.dtype)`` when allocating outputs."""
+        for attr in ("values", "vals", "data", "dvals"):
+            v = getattr(self, attr, None)
+            if isinstance(v, np.ndarray):
+                return v.dtype
+        return np.dtype(np.float64)
+
     def get(self, r: int, c: int) -> float:
         """Random access (0 for unstored elements) — the JadRandom analog."""
         raise NotImplementedError

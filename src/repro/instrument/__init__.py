@@ -36,6 +36,10 @@ Counter namespaces used by the compiler:
                           single-flight coalescing, fallbacks
 - ``backend.run.*``     — per-call dispatch (native / python / interp)
 - ``service.*``         — compile_many batch driver traffic
+- ``solver.*``          — SolverContext setup/iterate phase split,
+                          iteration counts, fast-path fallbacks
+- ``blas.handle.*``     — functional-API calls served by registered
+                          kernel handles
 """
 
 from __future__ import annotations

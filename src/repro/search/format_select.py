@@ -31,7 +31,8 @@ from repro.util.timing import best_of
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.compiler import CompiledKernel
 
-DEFAULT_CANDIDATES = ("csr", "csc", "coo", "dia", "ell", "jad", "msr")
+DEFAULT_CANDIDATES = ("csr", "csc", "coo", "dia", "ell", "jad", "msr",
+                      "bsr", "sym")
 
 
 class FormatChoice:
@@ -53,6 +54,8 @@ class FormatChoice:
     def __repr__(self):
         if not self.ok:
             return f"<{self.format_name}: no plan ({self.error})>"
+        if self.score is None:
+            return f"<{self.format_name}: ok (unscored)>"
         return f"<{self.format_name}: score={self.score:.4g}>"
 
 
@@ -64,7 +67,9 @@ class SelectionResult:
                  instances: Dict[str, SparseFormat], mode: str):
         ok = [c for c in choices if c.ok]
         failed = [c for c in choices if not c.ok]
-        ok.sort(key=lambda c: c.score)
+        # unscored-but-legal choices rank after every scored one (a None
+        # score must not TypeError the sort)
+        ok.sort(key=lambda c: (c.score is None, c.score or 0.0))
         self.choices = ok + failed
         self.instances = instances
         self.mode = mode
@@ -80,8 +85,10 @@ class SelectionResult:
         lines = [f"format selection ({self.mode}):"]
         unit = "estimated cost" if self.mode == "model" else "seconds"
         for c in self.choices:
-            if c.ok:
+            if c.ok and c.score is not None:
                 lines.append(f"  {c.format_name:6s} {c.score:14.4g}  ({unit})")
+            elif c.ok:
+                lines.append(f"  {c.format_name:6s} {'unscored':>14s}")
             else:
                 lines.append(f"  {c.format_name:6s} {'no legal plan':>14s}")
         return "\n".join(lines)
@@ -121,8 +128,16 @@ def select_format(
     choices: List[FormatChoice] = []
     instances: Dict[str, SparseFormat] = {}
     for name in candidates:
-        inst = convert(matrix, name, **convert_kwargs) \
-            if name == "bsr" else convert(matrix, name)
+        try:
+            inst = convert(matrix, name, **convert_kwargs) \
+                if name == "bsr" else convert(matrix, name)
+        except (ValueError, KeyError) as e:
+            # the format does not admit this matrix at all (BSR needs
+            # divisible dimensions, SYM a square symmetric matrix, ...):
+            # report a skip-with-reason choice rather than crashing
+            choices.append(FormatChoice(name, None, None,
+                                        f"inapplicable: {e}"))
+            continue
         instances[name] = inst
         try:
             kernel = compile_kernel(program, {array_name: inst})

@@ -5,6 +5,7 @@ story: written once against the BLAS interface (or against a compiled
 kernel), usable with any format.
 """
 
+from repro.solvers.context import ALL_OPS, BoundOp, SolverContext
 from repro.solvers.bicgstab import bicgstab
 from repro.solvers.cg import cg
 from repro.solvers.jacobi import jacobi
@@ -18,6 +19,9 @@ from repro.solvers.preconditioners import (
 )
 
 __all__ = [
+    "ALL_OPS",
+    "BoundOp",
+    "SolverContext",
     "bicgstab",
     "cg",
     "jacobi",

@@ -8,7 +8,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.blas.api import mvm
+from repro.instrument import INSTR
+from repro.solvers.context import SolverContext, resolve_matvec
 
 MatVec = Callable[[np.ndarray], np.ndarray]
 
@@ -21,17 +22,21 @@ def bicgstab(
     max_iter: Optional[int] = None,
     matvec: Optional[MatVec] = None,
     precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    context: Optional[SolverContext] = None,
 ) -> Tuple[np.ndarray, int, float]:
     """Solve ``A x = b``; returns (x, iterations, final residual norm)."""
-    if matvec is None:
-        matvec = lambda v: mvm(A, v)  # noqa: E731
+    A, mv = resolve_matvec(A, matvec, context)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else x0.astype(float).copy()
     if max_iter is None:
         max_iter = 10 * n
     M = precond if precond is not None else (lambda v: v)
 
-    r = b - matvec(x)
+    # two distinct matvec workspaces: v must survive the t = A s_hat call
+    # (it feeds the next iteration's direction update)
+    v_buf = np.zeros(n)
+    t_buf = np.zeros(n)
+    r = b - mv(x, t_buf)
     r_hat = r.copy()
     rho = alpha = omega = 1.0
     v = np.zeros(n)
@@ -39,39 +44,41 @@ def bicgstab(
     bnorm = float(np.linalg.norm(b)) or 1.0
     it = 0
     res = float(np.linalg.norm(r))
-    while it < max_iter and res > tol * bnorm:
-        rho_new = float(r_hat @ r)
-        if rho_new == 0.0:
-            break  # breakdown: restart would be needed
-        if it == 0:
-            p = r.copy()
-        else:
-            beta = (rho_new / rho) * (alpha / omega)
-            p = r + beta * (p - omega * v)
-        rho = rho_new
-        p_hat = M(p)
-        v = matvec(p_hat)
-        denom = float(r_hat @ v)
-        if denom == 0.0:
-            break
-        alpha = rho / denom
-        s = r - alpha * v
-        if float(np.linalg.norm(s)) <= tol * bnorm:
-            x = x + alpha * p_hat
-            r = s
+    with INSTR.phase("solver.iterate"):
+        while it < max_iter and res > tol * bnorm:
+            rho_new = float(r_hat @ r)
+            if rho_new == 0.0:
+                break  # breakdown: restart would be needed
+            if it == 0:
+                p = r.copy()
+            else:
+                beta = (rho_new / rho) * (alpha / omega)
+                p = r + beta * (p - omega * v)
+            rho = rho_new
+            p_hat = M(p)
+            v = mv(p_hat, v_buf)
+            denom = float(r_hat @ v)
+            if denom == 0.0:
+                break
+            alpha = rho / denom
+            s = r - alpha * v
+            if float(np.linalg.norm(s)) <= tol * bnorm:
+                x = x + alpha * p_hat
+                r = s
+                res = float(np.linalg.norm(r))
+                it += 1
+                break
+            s_hat = M(s)
+            t = mv(s_hat, t_buf)
+            tt = float(t @ t)
+            if tt == 0.0:
+                break
+            omega = float(t @ s) / tt
+            x = x + alpha * p_hat + omega * s_hat
+            r = s - omega * t
             res = float(np.linalg.norm(r))
             it += 1
-            break
-        s_hat = M(s)
-        t = matvec(s_hat)
-        tt = float(t @ t)
-        if tt == 0.0:
-            break
-        omega = float(t @ s) / tt
-        x = x + alpha * p_hat + omega * s_hat
-        r = s - omega * t
-        res = float(np.linalg.norm(r))
-        it += 1
-        if omega == 0.0:
-            break
+            if omega == 0.0:
+                break
+    INSTR.count("solver.iterations", it)
     return x, it, res

@@ -2,9 +2,11 @@
 
 Written once against a matrix-vector-product callable: the PETSc-style
 format-independent iterative method of the paper's introduction.  The
-``matvec`` argument defaults to the BLAS dispatch, but a compiled kernel
-from :func:`repro.core.compile_kernel` slots in directly (see
-``examples/fem_cg.py``).
+``matvec`` argument defaults to the BLAS dispatch; a
+:class:`~repro.solvers.context.SolverContext` (passed as ``context=`` or
+directly in the ``A`` position) routes every iteration through its bound
+compiled kernels, and a compiled kernel also slots in directly as
+``matvec`` (see ``examples/fem_cg.py``).
 """
 
 from __future__ import annotations
@@ -13,17 +15,10 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.blas.api import mvm
-from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
+from repro.solvers.context import SolverContext, resolve_matvec
 
 MatVec = Callable[[np.ndarray], np.ndarray]
-
-
-def _default_matvec(A: SparseFormat) -> MatVec:
-    def mv(x: np.ndarray) -> np.ndarray:
-        return mvm(A, x)
-
-    return mv
 
 
 def cg(
@@ -34,18 +29,19 @@ def cg(
     max_iter: Optional[int] = None,
     matvec: Optional[MatVec] = None,
     precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    context: Optional[SolverContext] = None,
 ) -> Tuple[np.ndarray, int, float]:
     """Solve ``A x = b`` for symmetric positive-definite ``A``.
 
     Returns ``(x, iterations, final_residual_norm)``.  ``A`` may be a
-    format instance (default BLAS matvec) or anything if ``matvec`` is
-    given explicitly.
+    format instance (default BLAS matvec), a :class:`SolverContext`, or
+    anything if ``matvec`` is given explicitly.
     """
-    if matvec is None:
-        matvec = _default_matvec(A)
+    A, mv = resolve_matvec(A, matvec, context)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else x0.astype(float).copy()
-    r = b - matvec(x)
+    Ap = np.zeros(n)                      # matvec workspace, reused each iteration
+    r = b - mv(x, Ap)
     z = precond(r) if precond else r
     p = z.copy()
     rz = float(r @ z)
@@ -53,21 +49,23 @@ def cg(
         max_iter = 10 * n
     bnorm = float(np.linalg.norm(b)) or 1.0
     it = 0
-    while it < max_iter:
-        rnorm = float(np.linalg.norm(r))
-        if rnorm <= tol * bnorm:
-            break
-        Ap = matvec(p)
-        denom = float(p @ Ap)
-        if denom == 0.0:
-            break
-        alpha = rz / denom
-        x += alpha * p
-        r -= alpha * Ap
-        z = precond(r) if precond else r
-        rz_new = float(r @ z)
-        beta = rz_new / rz if rz != 0 else 0.0
-        rz = rz_new
-        p = z + beta * p
-        it += 1
+    with INSTR.phase("solver.iterate"):
+        while it < max_iter:
+            rnorm = float(np.linalg.norm(r))
+            if rnorm <= tol * bnorm:
+                break
+            Ap = mv(p, Ap)
+            denom = float(p @ Ap)
+            if denom == 0.0:
+                break
+            alpha = rz / denom
+            x += alpha * p
+            r = r - alpha * Ap
+            z = precond(r) if precond else r
+            rz_new = float(r @ z)
+            beta = rz_new / rz if rz != 0 else 0.0
+            rz = rz_new
+            p = z + beta * p
+            it += 1
+    INSTR.count("solver.iterations", it)
     return x, it, float(np.linalg.norm(r))

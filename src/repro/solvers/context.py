@@ -1,0 +1,358 @@
+"""Solver fast path: one-time kernel setup, per-iteration native dispatch.
+
+The paper's Section 1 motivates the framework with the PETSc arrangement —
+format-independent iterative solvers linked against format-specific BLAS.
+:class:`SolverContext` is that link done once instead of per call: given a
+matrix instance it (optionally) picks a storage format through
+:func:`repro.search.format_select.select_format`, batch-compiles the
+kernels the solver will need (``mvm``, ``mvm_t``, ``ts_lower``,
+``ts_upper``) through :func:`repro.core.service.compile_many`, and then
+serves every solver iteration through the bound kernels with preallocated,
+reused workspaces — no per-iteration ``np.zeros``, no per-call dispatch
+dictionary walks.
+
+Fallback semantics are graceful and observable: an operation whose kernel
+cannot be compiled (no legal plan for the format, toolchain missing, ...)
+falls back to the per-call BLAS dispatch of :mod:`repro.blas.api`, the
+reason is kept in :attr:`SolverContext.fallbacks`, and the
+``solver.fallback.*`` counters tick.  A context never raises because a
+*fast* path is unavailable — only because the operation itself is
+impossible.
+
+Instrumentation (namespace ``solver.*``):
+
+- ``solver.setup`` / ``solver.iterate`` phase timers — setup (selection +
+  batch compilation) vs. iteration time of every solve;
+- ``solver.contexts`` — contexts constructed;
+- ``solver.iterations`` — total solver iterations executed;
+- ``solver.fallback.compile`` / ``solver.fallback.select`` — fast-path
+  demotions, by reason.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.blas import api as blas_api
+from repro.formats.base import SparseFormat
+from repro.formats.csr import CsrMatrix
+from repro.instrument import INSTR
+from repro.ir import kernels as _kernels
+
+#: every operation a context knows how to bind
+ALL_OPS = ("mvm", "mvm_t", "ts_lower", "ts_upper")
+
+#: op name -> (program factory, matrix array name, vector array names)
+_OP_SPECS = {
+    "mvm": (_kernels.mvm, "A", ("x", "y")),
+    "mvm_t": (_kernels.mvm_t, "A", ("x", "y")),
+    "ts_lower": (_kernels.ts_lower, "L", ("b",)),
+    "ts_upper": (_kernels.ts_upper, "U", ("b",)),
+}
+
+
+class BoundOp:
+    """One operation bound to one matrix instance: the kernel entry point
+    (native function or generated Python), a prebuilt arrays dict, and the
+    integer parameter values — everything a call needs besides the
+    vectors, resolved once at setup."""
+
+    __slots__ = ("name", "kernel", "fn", "arrays", "params", "backend_used")
+
+    def __init__(self, name: str, kernel, fn, arrays: Dict[str, object],
+                 params: Dict[str, int], backend_used: str):
+        self.name = name
+        self.kernel = kernel
+        self.fn = fn
+        self.arrays = arrays
+        self.params = params
+        self.backend_used = backend_used
+
+    def apply(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """y = op(x) through the bound kernel (mvm / mvm_t)."""
+        a = self.arrays
+        a["x"] = x
+        a["y"] = y
+        self.fn(a, self.params)
+        return y
+
+    def apply_solve(self, b: np.ndarray) -> np.ndarray:
+        """In-place triangular solve on ``b`` through the bound kernel."""
+        a = self.arrays
+        a["b"] = b
+        self.fn(a, self.params)
+        return b
+
+    def __repr__(self):
+        return f"<BoundOp {self.name} backend={self.backend_used}>"
+
+
+def _triangular_split(A: SparseFormat) -> Tuple[CsrMatrix, CsrMatrix]:
+    """(lower-including-diagonal, upper-including-diagonal) CSR parts,
+    annotated triangular so the compiler can discharge guards."""
+    rows, cols, vals = A.to_coo_arrays()
+    low = rows >= cols
+    up = rows <= cols
+    L = CsrMatrix.from_coo(rows[low], cols[low], vals[low], A.shape)
+    L.annotate_triangular("lower")
+    U = CsrMatrix.from_coo(rows[up], cols[up], vals[up], A.shape)
+    U.annotate_triangular("upper")
+    return L, U
+
+
+class SolverContext:
+    """Per-matrix solver state: bound kernels plus reusable workspaces.
+
+    Parameters
+    ----------
+    A:
+        A format instance (or a dense ndarray, converted to CSR).
+    ops:
+        Operations to bind, a subset of :data:`ALL_OPS`.  Triangular ops
+        bind to the lower/upper triangular CSR parts of ``A`` (including
+        the diagonal), exactly the split the symmetric Gauss–Seidel
+        preconditioner uses.
+    backend:
+        Forwarded to the compiler: ``"c"`` (default) dispatches iterations
+        through the native shared object, falling back to the generated
+        Python kernel when no toolchain exists; ``"python"`` uses the
+        generated Python directly.
+    select:
+        When true, run automatic format selection for the matvec program
+        first and bind the winning format instead of ``A``'s own.
+    candidates / select_mode / workload:
+        Forwarded to :func:`repro.search.format_select.select_format`.
+    register:
+        When true (default), publish the bound kernels as per-instance
+        handles so the plain functional API (:func:`repro.blas.api.mvm`
+        and friends) transparently uses them for this matrix.
+    """
+
+    def __init__(self, A, ops: Sequence[str] = ("mvm",), *,
+                 backend: str = "c", parallel: str = "none",
+                 select: bool = False, candidates: Optional[Sequence[str]] = None,
+                 select_mode: str = "model",
+                 workload: Optional[Callable] = None,
+                 cache: Optional[str] = None,
+                 max_workers: Optional[int] = None,
+                 register: bool = True):
+        ops = tuple(ops)
+        for op in ops:
+            if op not in _OP_SPECS:
+                raise ValueError(f"unknown op {op!r}; choose from {ALL_OPS}")
+        if not isinstance(A, SparseFormat):
+            A = CsrMatrix.from_dense(np.asarray(A))
+        self.ops = ops
+        self.backend = backend
+        self.selection = None
+        self.selection_error: Optional[str] = None
+        self.fallbacks: Dict[str, str] = {}
+        self._bound: Dict[str, Optional[BoundOp]] = {}
+        self._diag: Optional[np.ndarray] = None
+        self.L: Optional[CsrMatrix] = None
+        self.U: Optional[CsrMatrix] = None
+
+        INSTR.count("solver.contexts")
+        with INSTR.phase("solver.setup"):
+            if select:
+                A = self._select(A, candidates, select_mode, workload)
+            self.A = A
+            if "ts_lower" in ops or "ts_upper" in ops:
+                self.L, self.U = _triangular_split(A)
+            self._compile(ops, backend, parallel, cache, max_workers)
+            # reused matvec outputs (the solvers pass their own buffers for
+            # values that must survive a second matvec)
+            self._y = np.zeros(A.nrows)
+            self._yt = np.zeros(A.ncols)
+            if register:
+                self._register_handles()
+
+    # -- setup ------------------------------------------------------------
+    def _select(self, A, candidates, select_mode, workload):
+        from repro.core.plan import PlanError
+        from repro.search.format_select import select_format
+
+        kwargs = {"mode": select_mode}
+        if candidates is not None:
+            kwargs["candidates"] = candidates
+        if workload is not None:
+            kwargs["workload"] = workload
+        try:
+            self.selection = select_format(_kernels.mvm(), "A", A, **kwargs)
+        except PlanError as e:
+            self.selection_error = str(e)
+            INSTR.count("solver.fallback.select")
+            return A
+        return self.selection.best[1]
+
+    def _compile(self, ops, backend, parallel, cache, max_workers):
+        from repro.core.compiler import infer_param_values
+        from repro.core.service import compile_many
+
+        programs, bindings, specs = [], [], []
+        for op in ops:
+            factory, mat_name, _vecs = _OP_SPECS[op]
+            inst = {"mvm": lambda: self.A, "mvm_t": lambda: self.A,
+                    "ts_lower": lambda: self.L,
+                    "ts_upper": lambda: self.U}[op]()
+            programs.append(factory())
+            bindings.append({mat_name: inst})
+            specs.append((op, mat_name, inst))
+        batch = compile_many(programs, bindings, backend=backend,
+                             parallel=parallel, cache=cache,
+                             max_workers=max_workers)
+        for (op, mat_name, inst), outcome, program in zip(specs, batch,
+                                                          programs):
+            if not outcome.ok:
+                self.fallbacks[op] = (f"{type(outcome.error).__name__}: "
+                                      f"{outcome.error}")
+                INSTR.count("solver.fallback.compile")
+                self._bound[op] = None
+                continue
+            kernel = outcome.kernel
+            fn = kernel.native() if kernel.backend == "c" else None
+            if fn is None:
+                fn = kernel.callable()
+                if kernel.backend == "c" and kernel.fallback_reason:
+                    # native lowering/toolchain fell through: still fast
+                    # (generated Python), but record why it is not native
+                    self.fallbacks.setdefault(
+                        op, f"native: {kernel.fallback_reason}")
+            params = {k: int(v) for k, v in
+                      infer_param_values(program, {mat_name: inst}).items()}
+            arrays: Dict[str, object] = {mat_name: inst}
+            self._bound[op] = BoundOp(op, kernel, fn, arrays, params,
+                                      kernel.backend_used)
+
+    def _register_handles(self) -> None:
+        for op, bound in self._bound.items():
+            if bound is None:
+                continue
+            target = bound.arrays[_OP_SPECS[op][1]]
+            if op in ("mvm", "mvm_t"):
+                blas_api.register_kernel_handle(target, op, bound.apply)
+            else:
+                blas_api.register_kernel_handle(target, op, bound.apply_solve)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def format_name(self) -> str:
+        return self.A.format_name
+
+    def bound(self, op: str) -> Optional[BoundOp]:
+        """The BoundOp serving ``op``, or None when it fell back."""
+        return self._bound.get(op)
+
+    @property
+    def backends(self) -> Dict[str, str]:
+        """op -> backend actually executing it (``"c"``, ``"c+openmp"``,
+        ``"python"``, or ``"blas"`` after a compile fallback)."""
+        return {op: (b.backend_used if b is not None else "blas")
+                for op, b in self._bound.items()}
+
+    @property
+    def diag(self) -> np.ndarray:
+        """The diagonal of ``A`` (computed once, reused by Jacobi/SOR and
+        the preconditioners)."""
+        if self._diag is None:
+            n = min(self.A.shape)
+            self._diag = np.array([self.A.get(i, i) for i in range(n)])
+        return self._diag
+
+    # -- bound operations -------------------------------------------------
+    def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``out = A x`` through the bound kernel (``out`` defaults to the
+        context's reusable workspace — pass an explicit buffer when the
+        result must survive the next matvec)."""
+        if out is None:
+            out = self._y
+        b = self._bound.get("mvm")
+        if b is None:
+            return blas_api.dispatch_mvm(self.A, x, out)
+        return b.apply(x, out)
+
+    def matvec_t(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``out = A^T x`` through the bound kernel."""
+        if out is None:
+            out = self._yt
+        b = self._bound.get("mvm_t")
+        if b is None:
+            return blas_api.dispatch_mvm_t(self.A, x, out)
+        return b.apply(x, out)
+
+    def lower_solve(self, b: np.ndarray, in_place: bool = False) -> np.ndarray:
+        """``b := L^{-1} b`` with L the lower-including-diagonal part."""
+        if self.L is None:
+            raise ValueError("context was built without 'ts_lower'")
+        if not in_place:
+            b = b.copy()
+        op = self._bound.get("ts_lower")
+        if op is None:
+            return blas_api.dispatch_ts_lower(self.L, b)
+        return op.apply_solve(b)
+
+    def upper_solve(self, b: np.ndarray, in_place: bool = False) -> np.ndarray:
+        """``b := U^{-1} b`` with U the upper-including-diagonal part."""
+        if self.U is None:
+            raise ValueError("context was built without 'ts_upper'")
+        if not in_place:
+            b = b.copy()
+        op = self._bound.get("ts_upper")
+        if op is None:
+            return blas_api.dispatch_ts_upper(self.U, b)
+        return op.apply_solve(b)
+
+    def preconditioner(self, kind: str = "sgs"):
+        """A preconditioner wired to this context's bound kernels:
+        ``"sgs"`` (symmetric Gauss–Seidel, needs the ts ops), ``"jacobi"``
+        (diagonal scaling), or ``"none"``."""
+        from repro.solvers.preconditioners import (
+            IdentityPreconditioner,
+            JacobiPreconditioner,
+            TriangularPreconditioner,
+        )
+
+        if kind == "none":
+            return IdentityPreconditioner()
+        if kind == "jacobi":
+            return JacobiPreconditioner(self.A, context=self)
+        if kind == "sgs":
+            return TriangularPreconditioner(self.A, context=self)
+        raise ValueError(f"kind must be 'sgs', 'jacobi' or 'none', got {kind!r}")
+
+    def __repr__(self):
+        parts = ", ".join(f"{op}={used}" for op, used in self.backends.items())
+        sel = " selected" if self.selection is not None else ""
+        return f"<SolverContext {self.format_name}{sel} [{parts}]>"
+
+
+MatVec = Callable[[np.ndarray], np.ndarray]
+
+
+def resolve_matvec(A, matvec: Optional[MatVec], context: Optional[SolverContext]):
+    """Shared solver plumbing: normalize ``(A, matvec, context)`` into
+    ``(matrix, mv)`` where ``mv(x, out)`` computes A x into ``out``.
+
+    Accepts a :class:`SolverContext` directly in the ``A`` position (the
+    matrix is taken from the context), an explicit ``matvec`` callable
+    (wrapped; its own allocation discipline is respected), or a plain
+    format instance (per-call BLAS dispatch into the caller's buffer).
+    """
+    if isinstance(A, SolverContext):
+        context = A
+        A = context.A
+    if matvec is not None:
+        def mv(x, out=None, _f=matvec):
+            return _f(x)
+        return A, mv
+    if context is not None:
+        return A, context.matvec
+
+    def mv(x, out=None, _A=A):
+        if out is None:
+            return blas_api.mvm(_A, x)
+        return blas_api.mvm(_A, x, out)
+
+    return A, mv

@@ -6,7 +6,8 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.blas.api import mvm
+from repro.instrument import INSTR
+from repro.solvers.context import SolverContext, resolve_matvec
 
 MatVec = Callable[[np.ndarray], np.ndarray]
 
@@ -19,64 +20,67 @@ def gmres(
     restart: int = 30,
     max_iter: int = 1000,
     matvec: Optional[MatVec] = None,
+    context: Optional[SolverContext] = None,
 ) -> Tuple[np.ndarray, int, float]:
     """Solve ``A x = b`` with GMRES(restart); returns (x, total inner
     iterations, final residual norm)."""
-    if matvec is None:
-        matvec = lambda v: mvm(A, v)  # noqa: E731
+    A, mv = resolve_matvec(A, matvec, context)
     n = b.shape[0]
     x = np.zeros(n) if x0 is None else x0.astype(float).copy()
     bnorm = float(np.linalg.norm(b)) or 1.0
+    r_buf = np.zeros(n)                  # matvec workspace, reused per sweep
     total = 0
     res = float("inf")
-    while total < max_iter:
-        r = b - matvec(x)
-        beta = float(np.linalg.norm(r))
-        res = beta
-        if beta <= tol * bnorm:
-            break
-        m = min(restart, max_iter - total)
-        Q = np.zeros((n, m + 1))
-        H = np.zeros((m + 1, m))
-        Q[:, 0] = r / beta
-        g = np.zeros(m + 1)
-        g[0] = beta
-        cs = np.zeros(m)
-        sn = np.zeros(m)
-        k_used = 0
-        for k in range(m):
-            w = matvec(Q[:, k])
-            for i in range(k + 1):
-                H[i, k] = float(Q[:, i] @ w)
-                w -= H[i, k] * Q[:, i]
-            H[k + 1, k] = float(np.linalg.norm(w))
-            if H[k + 1, k] > 1e-14:
-                Q[:, k + 1] = w / H[k + 1, k]
-            # apply accumulated Givens rotations
-            for i in range(k):
-                t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
-                H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
-                H[i, k] = t
-            denom = float(np.hypot(H[k, k], H[k + 1, k]))
-            if denom == 0.0:
+    with INSTR.phase("solver.iterate"):
+        while total < max_iter:
+            r = b - mv(x, r_buf)
+            beta = float(np.linalg.norm(r))
+            res = beta
+            if beta <= tol * bnorm:
+                break
+            m = min(restart, max_iter - total)
+            Q = np.zeros((n, m + 1))
+            H = np.zeros((m + 1, m))
+            Q[:, 0] = r / beta
+            g = np.zeros(m + 1)
+            g[0] = beta
+            cs = np.zeros(m)
+            sn = np.zeros(m)
+            k_used = 0
+            for k in range(m):
+                w = mv(Q[:, k], r_buf)
+                for i in range(k + 1):
+                    H[i, k] = float(Q[:, i] @ w)
+                    w -= H[i, k] * Q[:, i]
+                H[k + 1, k] = float(np.linalg.norm(w))
+                if H[k + 1, k] > 1e-14:
+                    Q[:, k + 1] = w / H[k + 1, k]
+                # apply accumulated Givens rotations
+                for i in range(k):
+                    t = cs[i] * H[i, k] + sn[i] * H[i + 1, k]
+                    H[i + 1, k] = -sn[i] * H[i, k] + cs[i] * H[i + 1, k]
+                    H[i, k] = t
+                denom = float(np.hypot(H[k, k], H[k + 1, k]))
+                if denom == 0.0:
+                    k_used = k + 1
+                    break
+                cs[k] = H[k, k] / denom
+                sn[k] = H[k + 1, k] / denom
+                H[k, k] = denom
+                H[k + 1, k] = 0.0
+                g[k + 1] = -sn[k] * g[k]
+                g[k] = cs[k] * g[k]
                 k_used = k + 1
+                total += 1
+                if abs(g[k + 1]) <= tol * bnorm:
+                    break
+            # solve the small triangular system
+            y = np.zeros(k_used)
+            for i in range(k_used - 1, -1, -1):
+                y[i] = (g[i] - H[i, i + 1:k_used] @ y[i + 1:]) / H[i, i]
+            x = x + Q[:, :k_used] @ y
+            res = abs(float(g[k_used])) if k_used < m + 1 else res
+            if res <= tol * bnorm:
                 break
-            cs[k] = H[k, k] / denom
-            sn[k] = H[k + 1, k] / denom
-            H[k, k] = denom
-            H[k + 1, k] = 0.0
-            g[k + 1] = -sn[k] * g[k]
-            g[k] = cs[k] * g[k]
-            k_used = k + 1
-            total += 1
-            if abs(g[k + 1]) <= tol * bnorm:
-                break
-        # solve the small triangular system
-        y = np.zeros(k_used)
-        for i in range(k_used - 1, -1, -1):
-            y[i] = (g[i] - H[i, i + 1:k_used] @ y[i + 1:]) / H[i, i]
-        x = x + Q[:, :k_used] @ y
-        res = abs(float(g[k_used])) if k_used < m + 1 else res
-        if res <= tol * bnorm:
-            break
-    return x, total, float(np.linalg.norm(b - matvec(x)))
+    INSTR.count("solver.iterations", total)
+    return x, total, float(np.linalg.norm(b - mv(x, r_buf)))

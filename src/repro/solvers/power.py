@@ -10,6 +10,8 @@ import numpy as np
 
 from repro.blas.api import mvm, mvm_t
 from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
+from repro.solvers.context import SolverContext, resolve_matvec
 
 MatVec = Callable[[np.ndarray], np.ndarray]
 
@@ -20,13 +22,15 @@ def power_method(
     tol: float = 1e-10,
     max_iter: int = 1000,
     matvec: Optional[MatVec] = None,
+    context: Optional[SolverContext] = None,
 ) -> Tuple[float, np.ndarray, int]:
     """Dominant eigenpair of ``A``; returns (eigenvalue, eigenvector,
     iterations)."""
-    if matvec is None:
-        matvec = lambda x: mvm(A, x)  # noqa: E731
+    if matvec is None or isinstance(A, SolverContext):
+        A, mv = resolve_matvec(A, matvec, context)
         n = A.nrows
     else:
+        mv = lambda x, out=None: matvec(x)  # noqa: E731
         n = v0.shape[0] if v0 is not None else None
         if n is None:
             raise ValueError("v0 is required when matvec is supplied")
@@ -38,20 +42,24 @@ def power_method(
     else:
         v = v0.astype(float).copy()
     v /= np.linalg.norm(v)
+    w_buf = np.zeros(n)                     # matvec workspace, reused
     lam = 0.0
     it = 0
-    while it < max_iter:
-        w = matvec(v)
-        lam = float(v @ w)
-        # residual-based stop: ||A v - lam v|| small relative to |lam|
-        resid = float(np.linalg.norm(w - lam * v))
-        if resid <= tol * max(1.0, abs(lam)):
-            break
-        norm = float(np.linalg.norm(w))
-        if norm == 0.0:
-            return 0.0, v, it
-        v = w / norm
-        it += 1
+    with INSTR.phase("solver.iterate"):
+        while it < max_iter:
+            w = mv(v, w_buf)
+            lam = float(v @ w)
+            # residual-based stop: ||A v - lam v|| small relative to |lam|
+            resid = float(np.linalg.norm(w - lam * v))
+            if resid <= tol * max(1.0, abs(lam)):
+                break
+            norm = float(np.linalg.norm(w))
+            if norm == 0.0:
+                INSTR.count("solver.iterations", it)
+                return 0.0, v, it
+            v = w / norm
+            it += 1
+    INSTR.count("solver.iterations", it)
     return lam, v, it
 
 
@@ -60,9 +68,16 @@ def pagerank(
     damping: float = 0.85,
     tol: float = 1e-12,
     max_iter: int = 200,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, int]:
     """PageRank over a link matrix ``A`` (A[i][j] != 0 means page j links
-    to page i); returns (rank vector, iterations)."""
+    to page i); returns (rank vector, iterations).
+
+    ``backend`` (``"c"`` or ``"python"``) builds a
+    :class:`SolverContext` over the normalized transition matrix and runs
+    every iteration through its bound compiled kernel; the default keeps
+    the per-call BLAS dispatch.
+    """
     n = A.nrows
     if A.ncols != n:
         raise ValueError("pagerank needs a square link matrix")
@@ -76,16 +91,24 @@ def pagerank(
     from repro.formats.csr import CsrMatrix
 
     M = CsrMatrix.from_coo(rows, cols, norm_vals, A.shape)
+    if backend is not None:
+        ctx = SolverContext(M, ops=("mvm",), backend=backend)
+        mv = ctx.matvec
+    else:
+        mv = lambda x, out=None: mvm(M, x, out)  # noqa: E731
     dangling = out_degree == 0.0
+    contrib = np.zeros(n)                   # matvec workspace, reused
     r = np.full(n, 1.0 / n)
     it = 0
-    while it < max_iter:
-        contrib = mvm(M, r)
-        dang_mass = float(r[dangling].sum()) / n
-        r_new = (1.0 - damping) / n + damping * (contrib + dang_mass)
-        if float(np.abs(r_new - r).sum()) <= tol:
+    with INSTR.phase("solver.iterate"):
+        while it < max_iter:
+            contrib = mv(r, contrib)
+            dang_mass = float(r[dangling].sum()) / n
+            r_new = (1.0 - damping) / n + damping * (contrib + dang_mass)
+            if float(np.abs(r_new - r).sum()) <= tol:
+                r = r_new
+                break
             r = r_new
-            break
-        r = r_new
-        it += 1
+            it += 1
+    INSTR.count("solver.iterations", it)
     return r, it

@@ -145,3 +145,40 @@ class TestFlops:
     def test_counts(self):
         assert dense_ref.flops_mvm(100) == 200
         assert dense_ref.flops_ts(100, 10) == 190
+
+
+class TestOutputDtype:
+    """Allocation must promote operand dtypes, not hard-code float64
+    (regression: ``np.zeros(n)`` silently widened float32 workloads)."""
+
+    def _f32_csr(self, dense_a):
+        a = as_format(dense_a, "csr")
+        a.values = a.values.astype(np.float32)
+        return a
+
+    def test_mvm_preserves_float32(self, dense_a, rng):
+        a = self._f32_csr(dense_a)
+        x = rng.random(9).astype(np.float32)
+        y = mvm(a, x)
+        assert y.dtype == np.float32
+        assert np.allclose(y, dense_a.astype(np.float32) @ x, atol=1e-5)
+
+    def test_mvm_promotes_mixed(self, dense_a, rng):
+        a = self._f32_csr(dense_a)
+        assert mvm(a, rng.random(9)).dtype == np.float64
+
+    def test_mvm_t_preserves_float32(self, dense_a, rng):
+        a = self._f32_csr(dense_a)
+        x = rng.random(7).astype(np.float32)
+        assert mvm_t(a, x).dtype == np.float32
+
+    def test_format_dtype_property(self, dense_a):
+        a = as_format(dense_a, "csr")
+        assert a.dtype == np.float64
+        a.values = a.values.astype(np.float32)
+        assert a.dtype == np.float32
+        # every stock format reports a dtype (value-array probe or the
+        # float64 default) without raising
+        for fmt in ALL:
+            kwargs = {"block_size": 1} if fmt == "bsr" else {}
+            assert as_format(dense_a, fmt, **kwargs).dtype == np.float64

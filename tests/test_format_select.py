@@ -118,3 +118,85 @@ class TestEmpiricalMode:
             y = np.zeros(n)
             kernel({"A": inst, "x": x, "y": y}, {"m": n, "n": n})
             assert np.allclose(y, m.to_dense() @ x)
+
+
+class TestChoiceRobustness:
+    """Selection-layer bugfixes: None scores must neither crash __repr__
+    nor TypeError the ranking sort, and inapplicable formats (BSR with
+    indivisible dims, SYM on a non-symmetric matrix) are reported as
+    skip-with-reason choices instead of crashing the search."""
+
+    def test_repr_with_none_score(self):
+        from repro.search.format_select import FormatChoice
+
+        c = FormatChoice("csr", kernel=object(), score=None)
+        assert "unscored" in repr(c)
+        assert "csr" in repr(c)
+
+    def test_repr_with_error(self):
+        from repro.search.format_select import FormatChoice
+
+        c = FormatChoice("dia", None, None, "no plan here")
+        assert "no plan here" in repr(c)
+
+    def test_none_scores_sort_last(self):
+        from repro.search.format_select import FormatChoice, SelectionResult
+
+        choices = [
+            FormatChoice("coo", object(), None),
+            FormatChoice("csr", object(), 2.0),
+            FormatChoice("jad", object(), 1.0),
+        ]
+        res = SelectionResult(choices, {"csr": None, "coo": None,
+                                        "jad": None}, "model")
+        assert [c.format_name for c in res.choices] == ["jad", "csr", "coo"]
+
+    def test_table_renders_unscored(self):
+        from repro.search.format_select import FormatChoice, SelectionResult
+
+        res = SelectionResult(
+            [FormatChoice("csr", object(), None)], {"csr": None}, "model")
+        assert "unscored" in res.table()
+
+    def test_default_candidates_include_bsr_and_sym(self):
+        from repro.search.format_select import DEFAULT_CANDIDATES
+
+        assert "bsr" in DEFAULT_CANDIDATES
+        assert "sym" in DEFAULT_CANDIDATES
+
+    def test_inapplicable_formats_skipped_with_reason(self):
+        # 25x25 symmetric Laplacian: BSR (block_size=2) cannot tile 25,
+        # SYM applies; a 12x12 non-symmetric: SYM inapplicable, BSR fine
+        from repro.formats.generate import laplacian_2d
+
+        res = select_format(mvm(), "A", laplacian_2d(5))
+        by_name = {c.format_name: c for c in res.choices}
+        assert not by_name["bsr"].ok
+        assert "inapplicable" in by_name["bsr"].error
+        assert by_name["sym"].ok
+        assert "bsr" not in res.instances
+
+        m = random_sparse(12, 12, 0.3, seed=3)
+        res2 = select_format(mvm(), "A", m)
+        by_name2 = {c.format_name: c for c in res2.choices}
+        assert by_name2["bsr"].ok
+        assert not by_name2["sym"].ok
+        assert "inapplicable" in by_name2["sym"].error
+
+    def test_full_default_sweep_still_ranks(self):
+        m = random_sparse(16, 16, 0.25, seed=4)
+        res = select_format(mvm(), "A", m)
+        name, inst, kernel = res.best
+        assert kernel is not None
+        x = np.random.default_rng(5).random(16)
+        y = np.zeros(16)
+        kernel({"A": inst, "x": x, "y": y}, {"m": 16, "n": 16})
+        assert np.allclose(y, m.to_dense() @ x)
+
+    def test_bsr_convert_kwargs_forwarded(self):
+        m = random_sparse(12, 12, 0.3, seed=6)
+        res = select_format(mvm(), "A", m, candidates=("csr", "bsr"),
+                            block_size=3)
+        bsr = next(c for c in res.choices if c.format_name == "bsr")
+        assert bsr.ok
+        assert res.instances["bsr"].block_size == 3
