@@ -1,0 +1,211 @@
+"""Data-plane benchmark: vectorized O(nnz) construction, conversion, and
+triangular split vs the retained ``_reference_*`` loop oracles.
+
+Three sections per matrix (uniform random and banded, plus a symmetrized
+variant for SYM):
+
+- ``from_coo``      — canonicalize-and-pack into each format;
+- ``to_coo_arrays`` — triple extraction back out of each format;
+- ``convert``       — full conversions out of CSR (direct fast paths and
+  the ``_from_canonical_coo`` routes) against the status-quo loop
+  interchange, plus the SolverContext triangular split.
+
+Both legs run the same public entry points; the baseline leg swaps the
+data plane to the loop oracles with
+:func:`benchmarks.conftest.reference_data_plane` (which also disables the
+direct conversion routes), so the comparison is exactly "this PR off" vs
+"this PR on".  Results append to ``BENCH_convert.json`` at the repo root.
+
+Usage::
+
+    python benchmarks/bench_convert.py --n 10000
+    python benchmarks/bench_convert.py --n 2000 --check
+
+``--check`` (the CI smoke mode) exits non-zero unless every comparison
+speeds up, the headline speedup clears the floor (20x at n >= 10000, 5x
+below), and the JSON trajectory is a well-formed list of records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for p in (_ROOT, os.path.join(_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np  # noqa: E402
+
+from benchmarks.conftest import record_bench, reference_data_plane  # noqa: E402
+from repro.formats import convert  # noqa: E402
+from repro.formats.base import coo_dedup_sort  # noqa: E402
+from repro.formats.convert import FORMATS  # noqa: E402
+from repro.formats.csr import CsrMatrix  # noqa: E402
+from repro.formats.generate import banded, random_sparse  # noqa: E402
+from repro.solvers.context import (  # noqa: E402
+    _reference_triangular_split,
+    _triangular_split,
+)
+
+BENCH_FILE = "BENCH_convert.json"
+
+
+def _best_of(fn, repeats):
+    best, out = math.inf, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _matrices(n):
+    """[(case name, COO triples + shape)] — random, banded, and a
+    symmetric random pattern for SYM."""
+    rnd = random_sparse(n, n, density=10.0 / n, seed=7, ensure_diag=True)
+    band = banded(n, bandwidth=4, seed=7)
+    cases = {"random": rnd, "banded": band}
+
+    # symmetric variant: mirror the random pattern and give each (r, c)
+    # a value that only depends on the unordered pair
+    r, c, _v = rnd.to_coo_arrays()
+    rows = np.concatenate([r, c])
+    cols = np.concatenate([c, r])
+    vals = 0.5 + ((np.minimum(rows, cols) * 31 + np.maximum(rows, cols) * 17)
+                  % 97) / 97.0
+    cases["symmetric"] = (rows, cols, vals, rnd.shape)
+
+    out = {}
+    for name, m in cases.items():
+        if isinstance(m, tuple):
+            out[name] = m
+        else:
+            rr, cc, vv = m.to_coo_arrays()
+            out[name] = (rr, cc, vv, m.shape)
+    return out
+
+
+def _format_plan(case, n):
+    """Which formats make sense for this matrix (DIA explodes on random
+    patterns, DENSE on large n, SYM needs the symmetric case)."""
+    if case == "symmetric":
+        return ["sym"]
+    fmts = ["csr", "csc", "coo", "ell", "jad", "msr", "bsr"]
+    if case == "banded":
+        fmts.append("dia")
+    if n <= 2000:
+        fmts.append("dense")
+    return fmts
+
+
+def _kwargs_for(fmt):
+    return {"block_size": 2} if fmt == "bsr" else {}
+
+
+def run(n, repeats):
+    """Returns [(label, t_reference, t_vectorized)]."""
+    comparisons = []
+
+    def compare(label, vec_fn, ref_fn, nnz):
+        t_vec, _ = _best_of(vec_fn, repeats)
+        t0 = time.perf_counter()
+        ref_fn()
+        t_ref = time.perf_counter() - t0
+        speedup = t_ref / t_vec if t_vec > 0 else float("inf")
+        record_bench(BENCH_FILE, label, t_vec, n=n, nnz=int(nnz),
+                     reference_seconds=t_ref, speedup=speedup)
+        print(f"  {label:34s} loops {t_ref * 1e3:9.2f} ms   "
+              f"vectorized {t_vec * 1e3:9.2f} ms   {speedup:8.1f}x")
+        comparisons.append((label, t_ref, t_vec))
+
+    for case, (rows, cols, vals, shape) in _matrices(n).items():
+        crows, ccols, cvals = coo_dedup_sort(rows, cols, vals, shape,
+                                             order="row")
+        nnz = crows.size
+        print(f"{case}: n={shape[0]}, nnz={nnz}")
+        for fmt in _format_plan(case, n):
+            cls = FORMATS[fmt]
+            kw = _kwargs_for(fmt)
+            compare(f"from_coo/{fmt}/{case}",
+                    lambda: cls.from_coo(rows, cols, vals, shape, **kw),
+                    lambda: cls._reference_from_coo(rows, cols, vals, shape,
+                                                    **kw),
+                    nnz)
+            inst = cls.from_coo(rows, cols, vals, shape, **kw)
+            compare(f"to_coo_arrays/{fmt}/{case}",
+                    inst.to_coo_arrays, inst._reference_to_coo_arrays, nnz)
+
+        if case == "symmetric":
+            continue
+        csr = CsrMatrix._from_canonical_coo(crows, ccols, cvals, shape)
+        for fmt in _format_plan(case, n):
+            if fmt == "csr":
+                continue
+            kw = _kwargs_for(fmt)
+
+            def via_reference(fmt=fmt, kw=kw):
+                with reference_data_plane():
+                    return convert(csr, fmt, **kw)
+
+            compare(f"convert/csr->{fmt}/{case}",
+                    lambda: convert(csr, fmt, **kw), via_reference, nnz)
+        compare(f"triangular_split/{case}",
+                lambda: _triangular_split(csr),
+                lambda: _reference_triangular_split(csr), nnz)
+    return comparisons
+
+
+def check_json():
+    path = os.path.join(_ROOT, BENCH_FILE)
+    with open(path) as f:
+        entries = json.load(f)
+    assert isinstance(entries, list) and entries, "empty trajectory"
+    for e in entries:
+        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
+    return len(entries)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=10000,
+                    help="matrix dimension")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats for the vectorized leg")
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: fail unless every comparison speeds "
+                         "up and the JSON trajectory is well-formed")
+    args = ap.parse_args(argv)
+
+    print(f"data-plane benchmark: n={args.n}")
+    comparisons = run(args.n, args.repeats)
+    n_entries = check_json()
+    print(f"  {BENCH_FILE}: {n_entries} records")
+
+    if args.check:
+        floor = 20.0 if args.n >= 10000 else 5.0
+        speedups = {lbl: t_ref / t_vec if t_vec > 0 else float("inf")
+                    for lbl, t_ref, t_vec in comparisons}
+        slower = [lbl for lbl, s in speedups.items() if s < 1.0]
+        best = max(speedups.values())
+        if slower:
+            print(f"FAIL: vectorized path slower for {slower}",
+                  file=sys.stderr)
+            return 1
+        if best < floor:
+            print(f"FAIL: headline speedup {best:.1f}x below the "
+                  f"{floor:.0f}x floor", file=sys.stderr)
+            return 1
+        print(f"check ok: every path sped up; headline {best:.1f}x "
+              f"(floor {floor:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,10 @@ Usage::
     python benchmarks/bench_solvers.py --n 2500 --iters 30 --check
 
 ``--check`` (the CI smoke mode) exits non-zero unless the context path is
-no slower than the status quo for every measured solver and the JSON file
-is a well-formed list of records.
+no slower than the status quo for every measured solver, the vectorized
+setup phase (format conversion + triangular split, compile cache warm)
+clears its speedup floor against the loop-oracle data plane, and the JSON
+file is a well-formed list of records.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
 
 import numpy as np  # noqa: E402
 
-from benchmarks.conftest import record_bench  # noqa: E402
+from benchmarks.conftest import record_bench, reference_data_plane  # noqa: E402
 from repro.formats import as_format  # noqa: E402
 from repro.formats.generate import laplacian_2d  # noqa: E402
 from repro.solvers import SolverContext, bicgstab, cg, jacobi  # noqa: E402
@@ -56,8 +58,29 @@ def _best_of(fn, repeats):
     return best
 
 
+def measure_setup(m, fmt, backend, repeats):
+    """Time SolverContext construction — format conversion, triangular
+    split, compile-cache lookups — vectorized vs the loop-oracle data
+    plane.  The triangular ops force the split; a throwaway warm-up
+    construction fills the compile cache so both timings measure the data
+    plane rather than the (identical) first compile."""
+    ops = ("mvm", "ts_lower", "ts_upper")
+
+    def build():
+        return SolverContext(as_format(m, fmt), ops=ops, backend=backend,
+                             register=False)
+
+    build()  # warm the compile cache
+    t_vec = _best_of(build, repeats)
+    with reference_data_plane():
+        t0 = time.perf_counter()
+        build()
+        t_ref = time.perf_counter() - t0
+    return t_vec, t_ref
+
+
 def run(n, iters, backend, fmt, repeats):
-    """Returns [(solver, t_status_quo, t_context, setup_seconds)]."""
+    """Returns ([(solver, t_status_quo, t_context)], setup_speedup)."""
     k = max(2, int(round(math.sqrt(n))))
     m = laplacian_2d(k)
     n_actual = m.nrows
@@ -67,6 +90,15 @@ def run(n, iters, backend, fmt, repeats):
     t0 = time.perf_counter()
     ctx = SolverContext(as_format(m, fmt), ops=("mvm",), backend=backend)
     setup = time.perf_counter() - t0
+
+    setup_vec, setup_ref = measure_setup(m, fmt, backend, repeats)
+    setup_speedup = setup_ref / setup_vec if setup_vec > 0 else float("inf")
+    record_bench(BENCH_FILE, f"solver/setup/{fmt}", setup_vec, n=n_actual,
+                 reference_seconds=setup_ref, speedup=setup_speedup,
+                 backend=backend)
+    print(f"  setup (conv + split, warm cache): loops "
+          f"{setup_ref * 1e3:9.2f} ms   vectorized "
+          f"{setup_vec * 1e3:9.2f} ms   speedup {setup_speedup:6.1f}x")
 
     results = []
     for name, solver in SOLVERS.items():
@@ -92,7 +124,7 @@ def run(n, iters, backend, fmt, repeats):
               f"speedup {t_sq / t_cx:6.2f}x   "
               f"[{ctx.backends['mvm']}]")
     print(f"  (context setup: {setup * 1e3:.1f} ms, amortized across solves)")
-    return results
+    return results, setup_speedup
 
 
 def check_json():
@@ -122,7 +154,8 @@ def main(argv=None):
 
     print(f"solver benchmark: n~{args.n}, {args.iters} iters, "
           f"backend={args.backend}, fmt={args.fmt}")
-    results = run(args.n, args.iters, args.backend, args.fmt, args.repeats)
+    results, setup_speedup = run(args.n, args.iters, args.backend, args.fmt,
+                                 args.repeats)
     n_entries = check_json()
     print(f"  {BENCH_FILE}: {n_entries} records")
 
@@ -131,7 +164,13 @@ def main(argv=None):
         if slower:
             print(f"FAIL: context path slower for {slower}", file=sys.stderr)
             return 1
-        print("check ok: context path no slower for every solver")
+        floor = 10.0 if args.n >= 10000 else 2.0
+        if setup_speedup < floor:
+            print(f"FAIL: setup speedup {setup_speedup:.1f}x below the "
+                  f"{floor:.0f}x floor", file=sys.stderr)
+            return 1
+        print(f"check ok: context path no slower for every solver; "
+              f"setup speedup {setup_speedup:.1f}x (floor {floor:.0f}x)")
     return 0
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -53,6 +54,47 @@ def compiled(kernel_name, fmt_name, kind, array_name, **kwargs):
         _cache[key] = compile_kernel(prog, {array_name: fmt_instance(kind, fmt_name)},
                                      **kwargs)
     return _cache[key]
+
+
+@contextmanager
+def reference_data_plane():
+    """Swap the whole data plane back to the pre-vectorization loop
+    oracles for the duration of the block: every format's ``from_coo`` /
+    ``_from_canonical_coo`` / ``to_coo_arrays`` / ``to_dense`` becomes
+    its retained ``_reference_*`` implementation, the direct conversion
+    routes in :mod:`repro.formats.convert` are disabled, and the
+    SolverContext triangular split runs the element-wise baseline.
+    Benchmarks time the status quo against the vectorized plane through
+    one code path with this switch."""
+    from repro.formats.convert import FORMATS, fast_paths
+    from repro.solvers import context as solver_context
+
+    saved = []
+
+    def swap(obj, name, impl):
+        saved.append((obj, name, name in vars(obj), vars(obj).get(name)))
+        setattr(obj, name, impl)
+
+    with fast_paths(False):
+        for cls in sorted(set(FORMATS.values()), key=lambda c: c.__name__):
+            # raw descriptors (classmethod objects / functions) so the
+            # swapped attributes bind exactly like the originals
+            swap(cls, "from_coo", vars(cls)["_reference_from_coo"])
+            swap(cls, "_from_canonical_coo", vars(cls)["_reference_from_coo"])
+            swap(cls, "to_coo_arrays", vars(cls)["_reference_to_coo_arrays"])
+            swap(cls, "to_dense",
+                 vars(cls).get("_reference_to_dense",
+                               cls._reference_to_dense))
+        swap(solver_context, "_triangular_split",
+             solver_context._reference_triangular_split)
+        try:
+            yield
+        finally:
+            for obj, name, had, old in reversed(saved):
+                if had:
+                    setattr(obj, name, old)
+                else:
+                    delattr(obj, name)
 
 
 @pytest.fixture(scope="session")

@@ -105,7 +105,12 @@ class SparseFormat:
         raise NotImplementedError
 
     def to_coo_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(rows, cols, values) of all stored entries, any order."""
+        """(rows, cols, values) of all stored entries, any order.
+
+        Contract (relied upon by the conversion fast paths and the native
+        backend): ``rows``/``cols`` are int64 and ``values`` is
+        C-contiguous; all three are freshly allocated (mutating them never
+        aliases the format's own storage)."""
         raise NotImplementedError
 
     def to_dense(self) -> np.ndarray:
@@ -125,15 +130,30 @@ class SparseFormat:
         raise NotImplementedError
 
     @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape, **kwargs) -> "SparseFormat":
+        """Construct from triples already in canonical row-major form
+        (sorted by ``(row, col)``, unique, in bounds, int64/float64).
+
+        This is the construction core the vectorized data plane shares:
+        :func:`repro.formats.convert.convert` fast paths and
+        :func:`repro.search.format_select.select_format` canonicalize the
+        triples *once* and hand them to every target through this entry
+        point.  The default routes through :meth:`from_coo`, whose
+        canonicalization detects already-sorted input in O(nnz), so
+        custom formats stay correct without overriding."""
+        return cls.from_coo(rows, cols, vals, shape, **kwargs)
+
+    @classmethod
     def from_dense(cls, a: np.ndarray) -> "SparseFormat":
         a = np.asarray(a)
         rows, cols = np.nonzero(a)
         return cls.from_coo(rows, cols, a[rows, cols].astype(float), a.shape)
 
     @classmethod
-    def from_scipy(cls, sp) -> "SparseFormat":
+    def from_scipy(cls, sp, **kwargs) -> "SparseFormat":
         coo = sp.tocoo()
-        return cls.from_coo(coo.row, coo.col, coo.data.astype(float), coo.shape)
+        return cls.from_coo(coo.row, coo.col, coo.data.astype(float), coo.shape,
+                            **kwargs)
 
     def to_scipy(self):
         import scipy.sparse as sps
@@ -231,6 +251,26 @@ class SparseFormat:
             raise ValueError(f"kind must be 'lower' or 'upper', got {kind!r}")
         return self.annotate_bounds(sys_)
 
+    # -- reference oracles --------------------------------------------------
+    # Per-element loop implementations of the data plane, retained verbatim
+    # when the vectorized paths replaced them (PR 5).  They are the ground
+    # truth of the differential suite (tests/test_vectorized_differential)
+    # and the baseline of benchmarks/bench_convert.py — never call them on
+    # the hot path.
+
+    def _reference_to_coo_arrays(self):
+        """Loop oracle for :meth:`to_coo_arrays` (overridden per format)."""
+        raise NotImplementedError
+
+    def _reference_to_dense(self) -> np.ndarray:
+        """Loop oracle for :meth:`to_dense`: element-wise scatter of the
+        loop-extracted triples."""
+        rows, cols, vals = self._reference_to_coo_arrays()
+        out = np.zeros(self.shape)
+        for r, c, v in zip(rows, cols, vals):
+            out[int(r), int(c)] = float(v)
+        return out
+
     # -- misc -----------------------------------------------------------------
     def __repr__(self):
         return f"<{self.format_name} {self.nrows}x{self.ncols}, nnz={self.nnz}>"
@@ -238,7 +278,11 @@ class SparseFormat:
 
 def coo_dedup_sort(rows, cols, vals, shape, order: str = "row") -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Canonicalize COO triples: sum duplicates, sort row-major or
-    column-major, validate bounds.  Shared by the concrete constructors."""
+    column-major, validate bounds.  Shared by the concrete constructors.
+
+    Already-canonical input (strictly increasing keys, the common case for
+    triples coming out of another format's ``to_coo_arrays``) is detected
+    with one O(nnz) comparison and skips the sort entirely."""
     rows = np.asarray(rows, dtype=np.int64).ravel()
     cols = np.asarray(cols, dtype=np.int64).ravel()
     vals = np.asarray(vals, dtype=np.float64).ravel()
@@ -254,6 +298,11 @@ def coo_dedup_sort(rows, cols, vals, shape, order: str = "row") -> Tuple[np.ndar
         keys = cols * m + rows
     else:
         raise ValueError(f"unknown order {order!r}")
+    if keys.size == 0 or bool(np.all(keys[1:] > keys[:-1])):
+        # already canonical: skip the sort; copy so the constructed format
+        # never aliases caller-owned arrays (the sorted path's fancy
+        # indexing used to guarantee that)
+        return rows.copy(), cols.copy(), vals.copy()
     perm = np.argsort(keys, kind="stable")
     rows, cols, vals, keys = rows[perm], cols[perm], vals[perm], keys[perm]
     if keys.size and np.any(keys[1:] == keys[:-1]):
@@ -263,3 +312,22 @@ def coo_dedup_sort(rows, cols, vals, shape, order: str = "row") -> Tuple[np.ndar
         first = np.searchsorted(keys, uniq)
         rows, cols, vals = rows[first], cols[first], summed
     return rows, cols, vals
+
+
+def coo_contract(rows: np.ndarray, cols: np.ndarray,
+                 vals: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Apply the ``to_coo_arrays`` output contract: int64 indices and a
+    C-contiguous value array (no copy when the input already complies)."""
+    return (np.ascontiguousarray(rows, dtype=np.int64),
+            np.ascontiguousarray(cols, dtype=np.int64),
+            np.ascontiguousarray(vals))
+
+
+def csr_rowptr(rows: np.ndarray, nrows: int) -> np.ndarray:
+    """Row-pointer array from sorted row indices in O(nnz): a bincount
+    followed by an in-place cumulative sum."""
+    rowptr = np.zeros(nrows + 1, dtype=np.int64)
+    if rows.size:
+        rowptr[1:] = np.bincount(rows, minlength=nrows)
+    np.cumsum(rowptr, out=rowptr)
+    return rowptr

@@ -19,7 +19,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import PathRuntime, SparseFormat, coo_contract, coo_dedup_sort
 from repro.formats.views import (
     Axis,
     BINARY,
@@ -145,30 +145,61 @@ class BsrMatrix(SparseFormat):
         self.data[kk, r % s, c % s] = v
 
     def to_coo_arrays(self):
+        # broadcast block coordinates over the (nblocks, s, s) data cube;
+        # raveling C-order reproduces the (block, ri, ci) loop-nest order
         s = self.block_size
-        rows, cols, vals = [], [], []
-        for rb in range(self.block_rows):
-            for kk in range(int(self.indptr[rb]), int(self.indptr[rb + 1])):
-                cb = int(self.blockind[kk])
-                for ri in range(s):
-                    for ci in range(s):
-                        rows.append(rb * s + ri)
-                        cols.append(cb * s + ci)
-                        vals.append(float(self.data[kk, ri, ci]))
-        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
-                np.array(vals))
+        rb = np.repeat(np.arange(self.block_rows, dtype=np.int64),
+                       np.diff(self.indptr))
+        within = np.arange(s, dtype=np.int64)
+        rows = (rb[:, None, None] * s + within[None, :, None]
+                + np.zeros((1, 1, s), dtype=np.int64))
+        cols = (self.blockind[:, None, None] * s + within[None, None, :]
+                + np.zeros((1, s, 1), dtype=np.int64))
+        return coo_contract(rows.reshape(-1), cols.reshape(-1),
+                            self.data.reshape(-1).copy())
 
     def to_dense(self) -> np.ndarray:
-        out = np.zeros(self.shape)
+        # view the dense output as (block_rows, s, block_cols, s) and drop
+        # every stored block in with one advanced-indexing assignment
         s = self.block_size
-        for rb in range(self.block_rows):
-            for kk in range(int(self.indptr[rb]), int(self.indptr[rb + 1])):
-                cb = int(self.blockind[kk])
-                out[rb * s:(rb + 1) * s, cb * s:(cb + 1) * s] = self.data[kk]
+        out = np.zeros(self.shape)
+        rb = np.repeat(np.arange(self.block_rows, dtype=np.int64),
+                       np.diff(self.indptr))
+        out4 = out.reshape(self.block_rows, s, self.block_cols, s)
+        out4[rb, :, self.blockind, :] = self.data
         return out
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape, block_size: int = 2) -> "BsrMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape,
+                                       block_size=block_size)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape,
+                            block_size: int = 2) -> "BsrMatrix":
+        # block ids come from np.unique; the inverse map replaces the
+        # per-element dictionary lookup, so the fill is one 3-D scatter
+        s = block_size
+        m, n = shape
+        if m % s or n % s:
+            raise ValueError("matrix dimensions must be multiples of the block size")
+        rb, cb = rows // s, cols // s
+        keys = rb * (n // s) + cb
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        data = np.zeros((uniq.size, s, s))
+        data[inverse, rows % s, cols % s] = vals
+        indptr = np.zeros(m // s + 1, dtype=np.int64)
+        np.add.at(indptr[1:], (uniq // (n // s)).astype(np.int64), 1)
+        np.cumsum(indptr, out=indptr)
+        blockind = (uniq % (n // s)).astype(np.int64)
+        return cls(indptr, blockind, data, s, shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape,
+                            block_size: int = 2) -> "BsrMatrix":
+        """Loop oracle: per-element dictionary block lookup (the
+        pre-vectorization construction)."""
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
         s = block_size
         m, n = shape
@@ -187,6 +218,30 @@ class BsrMatrix(SparseFormat):
         np.cumsum(indptr, out=indptr)
         blockind = (uniq % (n // s)).astype(np.int64)
         return cls(indptr, blockind, data, s, shape)
+
+    def _reference_to_coo_arrays(self):
+        s = self.block_size
+        rows, cols, vals = [], [], []
+        for rb in range(self.block_rows):
+            for kk in range(int(self.indptr[rb]), int(self.indptr[rb + 1])):
+                cb = int(self.blockind[kk])
+                for ri in range(s):
+                    for ci in range(s):
+                        rows.append(rb * s + ri)
+                        cols.append(cb * s + ci)
+                        vals.append(float(self.data[kk, ri, ci]))
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals))
+
+    def _reference_to_dense(self) -> np.ndarray:
+        """Loop oracle for :meth:`to_dense`: block-at-a-time placement."""
+        out = np.zeros(self.shape)
+        s = self.block_size
+        for rb in range(self.block_rows):
+            for kk in range(int(self.indptr[rb]), int(self.indptr[rb + 1])):
+                cb = int(self.blockind[kk])
+                out[rb * s:(rb + 1) * s, cb * s:(cb + 1) * s] = self.data[kk]
+        return out
 
     @classmethod
     def from_dense(cls, a: np.ndarray, block_size: int = 2) -> "BsrMatrix":

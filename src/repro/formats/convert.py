@@ -1,12 +1,35 @@
-"""Conversions between formats (COO triples are the interchange)."""
+"""Conversions between formats.
+
+COO triples remain the least-common-denominator interchange every format
+can produce and consume, but the common routes no longer pay for it
+(PR 5's vectorized data plane):
+
+- converting a format to itself (no constructor kwargs) returns the
+  instance unchanged;
+- CSR and CSC expose their triples already sorted, so targets are built
+  through ``_from_canonical_coo`` — the construction core that skips the
+  canonicalization sort entirely;
+- CSR <-> CSC transposes the compression axis with a single stable
+  argsort of the minor index (no key building, no dedup pass).
+
+Everything else goes ``to_coo_arrays`` -> ``from_coo``, where
+:func:`repro.formats.base.coo_dedup_sort` detects already-canonical
+triples in O(nnz) and skips its sort.
+
+Instrumentation (namespace ``format.convert``): the ``format.convert``
+phase timer brackets every conversion; counters tick per route
+(``identity`` / ``fastpath`` / ``via_coo``) and per ordered format pair
+(``format.convert.csr->ell`` ...).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Type, Union
+from contextlib import contextmanager
+from typing import Dict, Optional, Tuple, Type, Union
 
 import numpy as np
 
-from repro.formats.base import SparseFormat
+from repro.formats.base import SparseFormat, csr_rowptr
 from repro.formats.bsr import BsrMatrix
 from repro.formats.coo import CooMatrix
 from repro.formats.csc import CscMatrix
@@ -17,6 +40,7 @@ from repro.formats.ell import EllMatrix
 from repro.formats.jad import JadMatrix
 from repro.formats.msr import MsrMatrix
 from repro.formats.sym import SymMatrix
+from repro.instrument import INSTR
 
 FORMATS: Dict[str, Type[SparseFormat]] = {
     "dense": DenseMatrix,
@@ -31,18 +55,128 @@ FORMATS: Dict[str, Type[SparseFormat]] = {
     "sym": SymMatrix,
 }
 
+#: module switch for the direct conversion routes; the benchmark harness
+#: flips it off to time the status-quo COO interchange with the same code
+_FAST_PATHS_ENABLED = True
+
+
+@contextmanager
+def fast_paths(enabled: bool):
+    """Scoped enable/disable of the direct conversion routes (used by
+    benchmarks to time the generic COO interchange)."""
+    global _FAST_PATHS_ENABLED
+    prev = _FAST_PATHS_ENABLED
+    _FAST_PATHS_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FAST_PATHS_ENABLED = prev
+
+
+def _csr_canonical_triples(A: CsrMatrix) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Row-major canonical triples straight from the CSR arrays, or None
+    when the instance violates the sorted-unique invariant (hand-built
+    arrays are not validated by the constructor — fall back then)."""
+    rows = np.repeat(np.arange(A.nrows, dtype=np.int64), np.diff(A.rowptr))
+    keys = rows * A.ncols + A.colind
+    if keys.size and not bool(np.all(keys[1:] > keys[:-1])):
+        return None
+    return rows, A.colind, A.values
+
+
+def _csc_canonical_triples(A: CscMatrix) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Row-major canonical triples from CSC arrays: one stable argsort of
+    the row index re-sorts the column-major entries row-major (columns
+    stay increasing within each row because the input was column-sorted)."""
+    cols = np.repeat(np.arange(A.ncols, dtype=np.int64), np.diff(A.colptr))
+    keys = cols * A.nrows + A.rowind
+    if keys.size and not bool(np.all(keys[1:] > keys[:-1])):
+        return None
+    perm = np.argsort(A.rowind, kind="stable")
+    return A.rowind[perm], cols[perm], A.values[perm]
+
+
+def _csr_to_csc(A: CsrMatrix) -> Optional[CscMatrix]:
+    """Direct CSR -> CSC: stable argsort of the column index alone."""
+    trip = _csr_canonical_triples(A)
+    if trip is None:
+        return None
+    rows, cols, vals = trip
+    perm = np.argsort(cols, kind="stable")
+    return CscMatrix(csr_rowptr(cols[perm], A.ncols), rows[perm], vals[perm],
+                     A.shape)
+
+
+def _csc_to_csr(A: CscMatrix) -> Optional[CsrMatrix]:
+    """Direct CSC -> CSR: stable argsort of the row index alone."""
+    trip = _csc_canonical_triples(A)
+    if trip is None:
+        return None
+    rows, cols, vals = trip  # already re-sorted row-major by the extractor
+    return CsrMatrix(csr_rowptr(rows, A.nrows), cols.copy(), vals.copy(),
+                     A.shape)
+
+
+#: (source class, target class) -> direct conversion; a path returning
+#: None signals "invariant not met, take the generic route"
+_DIRECT: Dict[Tuple[type, type], object] = {
+    (CsrMatrix, CscMatrix): _csr_to_csc,
+    (CscMatrix, CsrMatrix): _csc_to_csr,
+}
+
+def _dense_canonical_triples(A: DenseMatrix):
+    # np.nonzero scans row-major, so these triples are born canonical
+    return A.to_coo_arrays()
+
+
+#: sources whose triples come out canonical without a sort; every target's
+#: ``_from_canonical_coo`` can consume them directly
+_CANONICAL_SOURCES: Dict[type, object] = {
+    CsrMatrix: _csr_canonical_triples,
+    CscMatrix: _csc_canonical_triples,
+    DenseMatrix: _dense_canonical_triples,
+}
+
+
+def _try_fast_path(matrix: SparseFormat, cls: Type[SparseFormat],
+                   kwargs: Dict) -> Optional[SparseFormat]:
+    direct = _DIRECT.get((type(matrix), cls))
+    if direct is not None and not kwargs:
+        return direct(matrix)
+    extract = _CANONICAL_SOURCES.get(type(matrix))
+    if extract is None:
+        return None
+    trip = extract(matrix)
+    if trip is None:
+        return None
+    rows, cols, vals = trip
+    return cls._from_canonical_coo(rows, cols, vals, matrix.shape, **kwargs)
+
 
 def convert(matrix: SparseFormat, target: Union[str, Type[SparseFormat]], **kwargs) -> SparseFormat:
     """Convert ``matrix`` to another format, preserving stored values.
 
     ``kwargs`` are forwarded to the target constructor (e.g.
-    ``block_size=4`` for BSR).  Conversion goes through COO triples, the
-    least-common-denominator representation every format can produce and
-    consume.
+    ``block_size=4`` for BSR).  Converting to the matrix's own class with
+    no kwargs returns the instance itself (bounds annotation and all);
+    otherwise the cheapest available route is taken — a direct fast path
+    when one exists, the COO interchange when not.
     """
     cls = FORMATS[target] if isinstance(target, str) else target
-    rows, cols, vals = matrix.to_coo_arrays()
-    out = cls.from_coo(rows, cols, vals, matrix.shape, **kwargs)
+    if cls is type(matrix) and not kwargs:
+        INSTR.count("format.convert.identity")
+        return matrix
+    with INSTR.phase("format.convert"):
+        INSTR.count(f"format.convert.{matrix.format_name}->{cls.format_name}")
+        out = None
+        if _FAST_PATHS_ENABLED:
+            out = _try_fast_path(matrix, cls, kwargs)
+        if out is None:
+            INSTR.count("format.convert.via_coo")
+            rows, cols, vals = matrix.to_coo_arrays()
+            out = cls.from_coo(rows, cols, vals, matrix.shape, **kwargs)
+        else:
+            INSTR.count("format.convert.fastpath")
     if matrix.bounds() is not None:
         out.annotate_bounds(matrix.bounds())
     return out
@@ -58,7 +192,6 @@ def as_format(a, target: Union[str, Type[SparseFormat]], **kwargs) -> SparseForm
         if cls is BsrMatrix:
             return BsrMatrix.from_dense(a, **kwargs)
         return cls.from_dense(a, **kwargs)
-    # assume scipy sparse
-    return cls.from_scipy(a, **kwargs) if not kwargs else convert(
-        CooMatrix.from_scipy(a), cls, **kwargs
-    )
+    # scipy sparse: one conversion — from_scipy forwards the constructor
+    # kwargs, so there is no scipy -> COO -> target double hop
+    return cls.from_scipy(a, **kwargs)

@@ -11,7 +11,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import PathRuntime, SparseFormat, coo_contract, coo_dedup_sort
 from repro.formats.views import Axis, Joint, LINEAR, Term, UNORDERED, Value
 
 
@@ -72,7 +72,7 @@ class CooMatrix(SparseFormat):
         self.vals[hits[0]] = v
 
     def to_coo_arrays(self):
-        return self.rows.copy(), self.cols.copy(), self.vals.copy()
+        return coo_contract(self.rows.copy(), self.cols.copy(), self.vals.copy())
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "CooMatrix":
@@ -80,6 +80,28 @@ class CooMatrix(SparseFormat):
         # preserves whatever order canonicalization produces
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
         return cls(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "CooMatrix":
+        return cls(rows.copy(), cols.copy(), vals.copy(), shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "CooMatrix":
+        """Loop oracle: element-by-element append of the canonical triples."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        r_out, c_out, v_out = [], [], []
+        for r, c, v in zip(rows, cols, vals):
+            r_out.append(int(r))
+            c_out.append(int(c))
+            v_out.append(float(v))
+        return cls(np.array(r_out, dtype=np.int64), np.array(c_out, dtype=np.int64),
+                   np.array(v_out, dtype=np.float64), shape)
+
+    def _reference_to_coo_arrays(self):
+        rows = np.array([int(r) for r in self.rows], dtype=np.int64)
+        cols = np.array([int(c) for c in self.cols], dtype=np.int64)
+        vals = np.array([float(v) for v in self.vals], dtype=np.float64)
+        return rows, cols, vals
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

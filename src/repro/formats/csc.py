@@ -9,7 +9,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import PathRuntime, SparseFormat, coo_contract, coo_dedup_sort
 from repro.formats.views import Axis, BINARY, INCREASING, Nest, Term, Value, interval_axis
 
 
@@ -97,16 +97,45 @@ class CscMatrix(SparseFormat):
 
     def to_coo_arrays(self):
         cols = np.repeat(np.arange(self.ncols, dtype=np.int64), np.diff(self.colptr))
-        return self.rowind.copy(), cols, self.values.copy()
+        return coo_contract(self.rowind.copy(), cols, self.values.copy())
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "CscMatrix":
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="col")
+        return cls._build_colmajor(rows, cols, vals, shape)
+
+    @classmethod
+    def _build_colmajor(cls, rows, cols, vals, shape) -> "CscMatrix":
+        """Construction core for triples already canonical *column*-major."""
+        from repro.formats.base import csr_rowptr
+
+        return cls(csr_rowptr(cols, shape[1]), rows.copy(), vals.copy(), shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "CscMatrix":
+        # row-major canonical in: one stable sort on the column alone
+        # re-sorts column-major (rows stay increasing within each column
+        # because the input was row-sorted) — no key building, no dedup
+        perm = np.argsort(cols, kind="stable")
+        return cls._build_colmajor(rows[perm], cols[perm], vals[perm], shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "CscMatrix":
+        """Loop oracle: per-element column counting."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="col")
         m, n = shape
         colptr = np.zeros(n + 1, dtype=np.int64)
-        np.add.at(colptr[1:], cols, 1)
+        for c in cols:
+            colptr[int(c) + 1] += 1
         np.cumsum(colptr, out=colptr)
         return cls(colptr, rows, vals, shape)
+
+    def _reference_to_coo_arrays(self):
+        cols = np.empty(self.nnz, dtype=np.int64)
+        for c in range(self.ncols):
+            for jj in range(int(self.colptr[c]), int(self.colptr[c + 1])):
+                cols[jj] = c
+        return self.rowind.copy(), cols, self.values.copy()
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

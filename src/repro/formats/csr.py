@@ -11,7 +11,13 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import (
+    PathRuntime,
+    SparseFormat,
+    coo_contract,
+    coo_dedup_sort,
+    csr_rowptr,
+)
 from repro.formats.views import Axis, BINARY, INCREASING, Nest, Term, Value, interval_axis
 
 
@@ -99,16 +105,35 @@ class CsrMatrix(SparseFormat):
 
     def to_coo_arrays(self):
         rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.rowptr))
-        return rows, self.colind.copy(), self.values.copy()
+        return coo_contract(rows, self.colind.copy(), self.values.copy())
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "CsrMatrix":
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "CsrMatrix":
+        return cls(csr_rowptr(rows, shape[0]), cols.copy(), vals.copy(), shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "CsrMatrix":
+        """Loop oracle: per-element row counting (the pre-vectorization
+        construction, kept for differential testing)."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
         m, n = shape
         rowptr = np.zeros(m + 1, dtype=np.int64)
-        np.add.at(rowptr[1:], rows, 1)
+        for r in rows:
+            rowptr[int(r) + 1] += 1
         np.cumsum(rowptr, out=rowptr)
         return cls(rowptr, cols, vals, shape)
+
+    def _reference_to_coo_arrays(self):
+        rows = np.empty(self.nnz, dtype=np.int64)
+        for r in range(self.nrows):
+            for jj in range(int(self.rowptr[r]), int(self.rowptr[r + 1])):
+                rows[jj] = r
+        return rows, self.colind.copy(), self.values.copy()
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

@@ -11,7 +11,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat
+from repro.formats.base import PathRuntime, SparseFormat, coo_contract
 from repro.formats.views import Cross, Term, Value, interval_axis
 
 
@@ -77,7 +77,7 @@ class DenseMatrix(SparseFormat):
 
     def to_coo_arrays(self):
         rows, cols = np.nonzero(self.data)
-        return rows.astype(np.int64), cols.astype(np.int64), self.data[rows, cols]
+        return coo_contract(rows, cols, self.data[rows, cols])
 
     def to_dense(self) -> np.ndarray:
         return self.data.copy()
@@ -90,9 +90,35 @@ class DenseMatrix(SparseFormat):
         from repro.formats.base import coo_dedup_sort
 
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "DenseMatrix":
         out = np.zeros(shape)
         out[rows, cols] = vals
         return cls(out)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "DenseMatrix":
+        """Loop oracle: element-wise scatter into the dense array."""
+        from repro.formats.base import coo_dedup_sort
+
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        out = np.zeros(shape)
+        for r, c, v in zip(rows, cols, vals):
+            out[int(r), int(c)] = float(v)
+        return cls(out)
+
+    def _reference_to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for r in range(self.nrows):
+            for c in range(self.ncols):
+                if self.data[r, c] != 0.0:
+                    rows.append(r)
+                    cols.append(c)
+                    vals.append(float(self.data[r, c]))
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals, dtype=np.float64))
 
     @classmethod
     def from_dense(cls, a: np.ndarray) -> "DenseMatrix":

@@ -18,7 +18,7 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import PathRuntime, SparseFormat, coo_contract, coo_dedup_sort
 from repro.formats.views import (
     Axis,
     BINARY,
@@ -97,14 +97,18 @@ class DiaMatrix(SparseFormat):
         hi = min(self.ncols, self.nrows - d)
         return lo, max(lo, hi)
 
+    def _offset_ranges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`offset_range` over every stored diagonal:
+        (lo, hi) arrays with ``hi >= lo``."""
+        lo = np.maximum(0, -self.diags)
+        hi = np.minimum(self.ncols, self.nrows - self.diags)
+        return lo, np.maximum(lo, hi)
+
     # -- high-level API ----------------------------------------------------
     @property
     def nnz(self) -> int:
-        total = 0
-        for d in self.diags:
-            lo, hi = self.offset_range(int(d))
-            total += hi - lo
-        return total
+        lo, hi = self._offset_ranges()
+        return int(np.sum(hi - lo))
 
     def get(self, r: int, c: int) -> float:
         d = r - c
@@ -122,27 +126,54 @@ class DiaMatrix(SparseFormat):
         raise KeyError(f"({r},{c}) is not on a stored diagonal")
 
     def to_coo_arrays(self):
-        rows, cols, vals = [], [], []
-        for k, d in enumerate(self.diags):
-            lo, hi = self.offset_range(int(d))
-            os = np.arange(lo, hi, dtype=np.int64)
-            rows.append(os + int(d))
-            cols.append(os)
-            vals.append(self.data[k, lo:hi])
-        if not rows:
-            z = np.zeros(0, dtype=np.int64)
-            return z, z.copy(), np.zeros(0)
-        return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+        # expand every diagonal's offset interval at once: one repeat for
+        # the diagonal ids, one subtraction turning flat positions into
+        # per-diagonal offsets
+        lo, hi = self._offset_ranges()
+        lens = hi - lo
+        starts = np.zeros(self.diags.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=starts[1:])
+        k_of = np.repeat(np.arange(self.diags.size, dtype=np.int64), lens)
+        o = np.arange(int(starts[-1]), dtype=np.int64) - starts[k_of] + lo[k_of]
+        rows = o + self.diags[k_of]
+        return coo_contract(rows, o, self.data[k_of, o])
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "DiaMatrix":
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "DiaMatrix":
         ds = rows - cols
         diags = np.unique(ds)
         data = np.zeros((diags.size, shape[1]))
         k = np.searchsorted(diags, ds)
         data[k, cols] = vals
         return cls(diags, data, shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "DiaMatrix":
+        """Loop oracle: per-element diagonal lookup and placement."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        diag_set = sorted({int(r) - int(c) for r, c in zip(rows, cols)})
+        diags = np.array(diag_set, dtype=np.int64)
+        index_of = {d: k for k, d in enumerate(diag_set)}
+        data = np.zeros((diags.size, shape[1]))
+        for r, c, v in zip(rows, cols, vals):
+            data[index_of[int(r) - int(c)], int(c)] = float(v)
+        return cls(diags, data, shape)
+
+    def _reference_to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for k, d in enumerate(self.diags):
+            lo, hi = self.offset_range(int(d))
+            for o in range(lo, hi):
+                rows.append(o + int(d))
+                cols.append(o)
+                vals.append(float(self.data[k, o]))
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals, dtype=np.float64))
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

@@ -13,7 +13,13 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import (
+    PathRuntime,
+    SparseFormat,
+    coo_contract,
+    coo_dedup_sort,
+    csr_rowptr,
+)
 from repro.formats.views import Axis, BINARY, INCREASING, Nest, Term, Value, interval_axis
 
 
@@ -100,19 +106,37 @@ class EllMatrix(SparseFormat):
         raise KeyError(f"({r},{c}) is not stored (fill is not supported)")
 
     def to_coo_arrays(self):
-        rows, cols, vals = [], [], []
-        for r in range(self.nrows):
-            ln = int(self.rowlen[r])
-            rows.append(np.full(ln, r, dtype=np.int64))
-            cols.append(self.colind[r, :ln])
-            vals.append(self.data[r, :ln])
-        if not rows:
-            z = np.zeros(0, dtype=np.int64)
-            return z, z.copy(), np.zeros(0)
-        return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
+        # slot-mask extraction: entry (r, kk) is stored iff kk < rowlen[r];
+        # boolean indexing walks the (m x K) arrays row-major, reproducing
+        # the per-row concatenation order of the loop oracle
+        mask = np.arange(self.slots) < self.rowlen[:, None]
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.rowlen)
+        return coo_contract(rows, self.colind[mask], self.data[mask])
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "EllMatrix":
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "EllMatrix":
+        # scatter packing: entry jj of row r lands in slot jj - rowptr[r]
+        # (its position within the row), one vectorized assignment per array
+        m, n = shape
+        rowptr = csr_rowptr(rows, m)
+        counts = np.diff(rowptr)
+        K = int(counts.max(initial=0))
+        colind = np.zeros((m, max(K, 1)), dtype=np.int64)
+        data = np.zeros((m, max(K, 1)))
+        slot = np.arange(rows.size, dtype=np.int64) - rowptr[rows]
+        colind[rows, slot] = cols
+        data[rows, slot] = vals
+        return cls(colind, data, counts, shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "EllMatrix":
+        """Loop oracle: per-element slot packing (the pre-vectorization
+        construction)."""
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
         m, n = shape
         counts = np.zeros(m, dtype=np.int64)
@@ -126,6 +150,18 @@ class EllMatrix(SparseFormat):
             data[r, slot[r]] = v
             slot[r] += 1
         return cls(colind, data, counts, shape)
+
+    def _reference_to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for r in range(self.nrows):
+            ln = int(self.rowlen[r])
+            rows.append(np.full(ln, r, dtype=np.int64))
+            cols.append(self.colind[r, :ln])
+            vals.append(self.data[r, :ln])
+        if not rows:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z.copy(), np.zeros(0)
+        return np.concatenate(rows), np.concatenate(cols), np.concatenate(vals)
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

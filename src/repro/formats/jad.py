@@ -25,7 +25,13 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import (
+    PathRuntime,
+    SparseFormat,
+    coo_contract,
+    coo_dedup_sort,
+    csr_rowptr,
+)
 from repro.formats.views import (
     Axis,
     BINARY,
@@ -140,11 +146,10 @@ class JadMatrix(SparseFormat):
         if np.any(lens < 0) or (lens.size > 1 and np.any(lens[1:] > lens[:-1])):
             raise ValueError("jagged diagonal lengths must be non-increasing")
         # entries per permuted row: rr has one entry in each diagonal longer
-        # than rr
-        self.rowcnt = np.array(
-            [int(np.count_nonzero(lens > rr)) for rr in range(self.nrows)],
-            dtype=np.int64,
-        )
+        # than rr; lens is non-increasing, so the count is a binary search
+        # over the reversed (ascending) lengths instead of an O(m * nd) scan
+        rr_all = np.arange(self.nrows, dtype=np.int64)
+        self.rowcnt = lens.size - np.searchsorted(lens[::-1], rr_all, side="right")
         self.ipermi = np.empty(self.nrows, dtype=np.int64)
         self.ipermi[self.iperm] = np.arange(self.nrows, dtype=np.int64)
 
@@ -195,22 +200,59 @@ class JadMatrix(SparseFormat):
         self.values[jj] = v
 
     def to_coo_arrays(self):
-        rows = np.empty(self.nnz, dtype=np.int64)
-        d = 0
-        for jj in range(self.nnz):
-            while jj >= self.dptr[d + 1]:
-                d += 1
-            rows[jj] = self.iperm[jj - int(self.dptr[d])]
-        return rows, self.colind.copy(), self.values.copy()
+        # expand diagonal ids over their lengths, recover the in-diagonal
+        # offset (= permuted row) by subtracting each diagonal's start, and
+        # map back to logical rows through the permutation — all O(nnz)
+        lens = np.diff(self.dptr)
+        d_of = np.repeat(np.arange(self.ndiags, dtype=np.int64), lens)
+        rr = np.arange(self.nnz, dtype=np.int64) - self.dptr[d_of]
+        rows = self.iperm[rr] if self.nnz else np.zeros(0, dtype=np.int64)
+        return coo_contract(rows, self.colind.copy(), self.values.copy())
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "JadMatrix":
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "JadMatrix":
+        # Scatter construction: entry jj of the row-major input sits in
+        # slot d = jj - rowptr[rows[jj]] of its row, i.e. on jagged
+        # diagonal d at offset rr = ipermi[rows[jj]], so its destination
+        # is dptr[d] + rr — one permutation index array, two scatters.
+        m, n = shape
+        rowptr = csr_rowptr(rows, m)
+        counts = np.diff(rowptr)
+        # sort rows by count decreasing; stable so equal-count rows keep
+        # their original order (deterministic construction)
+        iperm = np.argsort(-counts, kind="stable").astype(np.int64)
+        ipermi = np.empty(m, dtype=np.int64)
+        ipermi[iperm] = np.arange(m, dtype=np.int64)
+        nd = int(counts.max(initial=0))
+        # diagonal d holds one entry per row with more than d entries;
+        # counts[iperm] is non-increasing, so diagonal lengths fall out of
+        # one binary search (the same identity rowcnt uses, transposed)
+        sorted_desc = counts[iperm]
+        lens = m - np.searchsorted(sorted_desc[::-1], np.arange(nd, dtype=np.int64),
+                                   side="right")
+        dptr = np.zeros(nd + 1, dtype=np.int64)
+        np.cumsum(lens, out=dptr[1:])
+        slot = np.arange(rows.size, dtype=np.int64) - rowptr[rows]
+        dest = dptr[slot] + ipermi[rows]
+        colind = np.empty(rows.size, dtype=np.int64)
+        values = np.empty(rows.size)
+        colind[dest] = cols
+        values[dest] = vals
+        return cls(iperm, dptr, colind, values, shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "JadMatrix":
+        """Loop oracle: the paper's Figure 14 construction, one appended
+        element at a time (the pre-vectorization implementation)."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
         m, n = shape
         counts = np.zeros(m, dtype=np.int64)
         np.add.at(counts, rows, 1)
-        # sort rows by count decreasing; stable so equal-count rows keep
-        # their original order (deterministic construction)
         iperm = np.argsort(-counts, kind="stable").astype(np.int64)
         rowptr = np.zeros(m + 1, dtype=np.int64)
         np.cumsum(counts, out=rowptr[1:])
@@ -229,6 +271,15 @@ class JadMatrix(SparseFormat):
             dptr.append(len(colind))
         return cls(iperm, np.array(dptr, dtype=np.int64),
                    np.array(colind, dtype=np.int64), np.array(values), shape)
+
+    def _reference_to_coo_arrays(self):
+        rows = np.empty(self.nnz, dtype=np.int64)
+        d = 0
+        for jj in range(self.nnz):
+            while jj >= self.dptr[d + 1]:
+                d += 1
+            rows[jj] = self.iperm[jj - int(self.dptr[d])]
+        return rows, self.colind.copy(), self.values.copy()
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

@@ -17,7 +17,13 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import (
+    PathRuntime,
+    SparseFormat,
+    coo_contract,
+    coo_dedup_sort,
+    csr_rowptr,
+)
 from repro.formats.views import (
     Axis,
     BINARY,
@@ -146,22 +152,57 @@ class MsrMatrix(SparseFormat):
     def to_coo_arrays(self):
         rows = np.repeat(np.arange(self.nrows, dtype=np.int64), np.diff(self.rowptr))
         di = np.arange(self.ndiag, dtype=np.int64)
-        return (np.concatenate([di, rows]),
-                np.concatenate([di, self.colind]),
-                np.concatenate([self.dvals, self.values]))
+        return coo_contract(np.concatenate([di, rows]),
+                            np.concatenate([di, self.colind]),
+                            np.concatenate([self.dvals, self.values]))
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "MsrMatrix":
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "MsrMatrix":
         m, n = shape
         dvals = np.zeros(min(m, n))
         on_diag = rows == cols
         dvals[rows[on_diag]] = vals[on_diag]
         rows_o, cols_o, vals_o = rows[~on_diag], cols[~on_diag], vals[~on_diag]
+        return cls(dvals, csr_rowptr(rows_o, m), cols_o, vals_o, shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "MsrMatrix":
+        """Loop oracle: per-element diagonal/off-diagonal routing."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
+        m, n = shape
+        dvals = np.zeros(min(m, n))
+        rows_o, cols_o, vals_o = [], [], []
         rowptr = np.zeros(m + 1, dtype=np.int64)
-        np.add.at(rowptr[1:], rows_o, 1)
+        for r, c, v in zip(rows, cols, vals):
+            if int(r) == int(c):
+                dvals[int(r)] = float(v)
+            else:
+                rows_o.append(int(r))
+                cols_o.append(int(c))
+                vals_o.append(float(v))
+                rowptr[int(r) + 1] += 1
         np.cumsum(rowptr, out=rowptr)
-        return cls(dvals, rowptr, cols_o, vals_o, shape)
+        return cls(dvals, rowptr, np.array(cols_o, dtype=np.int64),
+                   np.array(vals_o, dtype=np.float64), shape)
+
+    def _reference_to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for i in range(self.ndiag):
+            rows.append(i)
+            cols.append(i)
+            vals.append(float(self.dvals[i]))
+        for r in range(self.nrows):
+            for jj in range(int(self.rowptr[r]), int(self.rowptr[r + 1])):
+                rows.append(r)
+                cols.append(int(self.colind[jj]))
+                vals.append(float(self.values[jj]))
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals, dtype=np.float64))
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

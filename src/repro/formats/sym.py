@@ -19,7 +19,13 @@ from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.formats.base import PathRuntime, SparseFormat, coo_dedup_sort
+from repro.formats.base import (
+    PathRuntime,
+    SparseFormat,
+    coo_contract,
+    coo_dedup_sort,
+    csr_rowptr,
+)
 from repro.formats.views import (
     Axis,
     BINARY,
@@ -174,14 +180,42 @@ class SymMatrix(SparseFormat):
         rows = np.repeat(np.arange(self.nrows, dtype=np.int64),
                          np.diff(self.rowptr))
         off = rows != self.colind
-        return (np.concatenate([rows, self.colind[off]]),
-                np.concatenate([self.colind, rows[off]]),
-                np.concatenate([self.values, self.values[off]]))
+        return coo_contract(np.concatenate([rows, self.colind[off]]),
+                            np.concatenate([self.colind, rows[off]]),
+                            np.concatenate([self.values, self.values[off]]))
 
     @classmethod
     def from_coo(cls, rows, cols, vals, shape) -> "SymMatrix":
         rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
-        # verify symmetry, then keep the lower triangle
+        return cls._from_canonical_coo(rows, cols, vals, shape)
+
+    @classmethod
+    def _from_canonical_coo(cls, rows, cols, vals, shape) -> "SymMatrix":
+        # symmetry check without the per-element dictionary: look every
+        # entry's transposed key up in the (sorted, unique) key array; a
+        # missing transpose compares against 0.0, exactly like the loop
+        # oracle's dict.get default
+        m, n = shape
+        keys = rows * n + cols
+        kt = cols * n + rows
+        if keys.size:
+            pos = np.minimum(np.searchsorted(keys, kt), keys.size - 1)
+            found = keys[pos] == kt
+            tvals = np.where(found, vals[pos], 0.0)
+            bad = np.abs(tvals - vals) > 1e-12
+            if np.any(bad):
+                i = int(np.argmax(bad))
+                raise ValueError(
+                    f"matrix is not symmetric at ({int(rows[i])},{int(cols[i])})")
+        keep = rows >= cols
+        rows, cols, vals = rows[keep], cols[keep], vals[keep]
+        return cls(csr_rowptr(rows, m), cols, vals, shape)
+
+    @classmethod
+    def _reference_from_coo(cls, rows, cols, vals, shape) -> "SymMatrix":
+        """Loop oracle: dictionary symmetry check then per-element row
+        counting (the pre-vectorization construction)."""
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, shape, order="row")
         dense_check = {}
         for r, c, v in zip(rows, cols, vals):
             dense_check[(int(r), int(c))] = float(v)
@@ -192,9 +226,26 @@ class SymMatrix(SparseFormat):
         rows, cols, vals = rows[keep], cols[keep], vals[keep]
         m = shape[0]
         rowptr = np.zeros(m + 1, dtype=np.int64)
-        np.add.at(rowptr[1:], rows, 1)
+        for r in rows:
+            rowptr[int(r) + 1] += 1
         np.cumsum(rowptr, out=rowptr)
         return cls(rowptr, cols, vals, shape)
+
+    def _reference_to_coo_arrays(self):
+        rows, cols, vals = [], [], []
+        for r in range(self.nrows):
+            for jj in range(int(self.rowptr[r]), int(self.rowptr[r + 1])):
+                rows.append(r)
+                cols.append(int(self.colind[jj]))
+                vals.append(float(self.values[jj]))
+        n_stored = len(rows)
+        for i in range(n_stored):
+            if rows[i] != cols[i]:
+                rows.append(cols[i])
+                cols.append(rows[i])
+                vals.append(vals[i])
+        return (np.array(rows, dtype=np.int64), np.array(cols, dtype=np.int64),
+                np.array(vals, dtype=np.float64))
 
     # -- low-level API -------------------------------------------------------
     def view(self) -> Term:

@@ -40,6 +40,14 @@ Counter namespaces used by the compiler:
                           iteration counts, fast-path fallbacks
 - ``blas.handle.*``     — functional-API calls served by registered
                           kernel handles
+- ``format.convert.*``  — data-plane conversions: the ``format.convert``
+                          phase timer, per-route counters (``identity`` /
+                          ``fastpath`` / ``via_coo``) and per ordered
+                          format pair (``format.convert.csr->ell``)
+- ``select.*``          — format selection: the shared one-time COO
+                          extraction (``select.extract`` phase,
+                          ``select.candidates`` counter)
+- ``solver.split``      — SolverContext triangular-split phase timer
 """
 
 from __future__ import annotations

@@ -23,8 +23,9 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from typing import TYPE_CHECKING
 
 from repro.core.plan import PlanError
-from repro.formats.base import SparseFormat
+from repro.formats.base import SparseFormat, coo_dedup_sort
 from repro.formats.convert import FORMATS, convert
+from repro.instrument import INSTR
 from repro.ir.program import Program
 from repro.util.timing import best_of
 
@@ -125,12 +126,32 @@ def select_format(
     if not isinstance(matrix, SparseFormat):
         matrix = CooMatrix.from_dense(matrix)
 
+    # extract and canonicalize the COO triples ONCE; every candidate is
+    # then built through its _from_canonical_coo construction core, so the
+    # per-candidate cost is the O(nnz) packing alone — materializing all
+    # ~9 formats no longer pays ~9 sorts (or 9 Python loops, pre-PR 5)
+    with INSTR.phase("select.extract"):
+        rows, cols, vals = matrix.to_coo_arrays()
+        rows, cols, vals = coo_dedup_sort(rows, cols, vals, matrix.shape,
+                                          order="row")
+    bounds = matrix.bounds()
+
     choices: List[FormatChoice] = []
     instances: Dict[str, SparseFormat] = {}
     for name in candidates:
+        INSTR.count("select.candidates")
+        cls = FORMATS.get(name)
         try:
-            inst = convert(matrix, name, **convert_kwargs) \
-                if name == "bsr" else convert(matrix, name)
+            if cls is None:
+                raise KeyError(name)
+            if cls is type(matrix) and (name != "bsr" or not convert_kwargs):
+                inst = matrix  # same short-circuit convert() applies
+            else:
+                kw = convert_kwargs if name == "bsr" else {}
+                inst = cls._from_canonical_coo(rows, cols, vals,
+                                               matrix.shape, **kw)
+                if bounds is not None:
+                    inst.annotate_bounds(bounds)
         except (ValueError, KeyError) as e:
             # the format does not admit this matrix at all (BSR needs
             # divisible dimensions, SYM a square symmetric matrix, ...):

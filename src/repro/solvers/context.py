@@ -91,13 +91,58 @@ class BoundOp:
 
 def _triangular_split(A: SparseFormat) -> Tuple[CsrMatrix, CsrMatrix]:
     """(lower-including-diagonal, upper-including-diagonal) CSR parts,
-    annotated triangular so the compiler can discharge guards."""
+    annotated triangular so the compiler can discharge guards.
+
+    Vectorized: when ``A`` is already CSR the split is two boolean masks
+    over ``colind`` — masking preserves the within-row column order, so
+    the parts are valid CSR without any re-sort.  Other formats extract
+    triples once; ``from_coo`` detects sorted triples in O(nnz)."""
+    from repro.formats.base import csr_rowptr
+
+    with INSTR.phase("solver.split"):
+        if type(A) is CsrMatrix:
+            rows = np.repeat(np.arange(A.nrows, dtype=np.int64),
+                             np.diff(A.rowptr))
+            low = A.colind <= rows
+            up = A.colind >= rows
+            L = CsrMatrix(csr_rowptr(rows[low], A.nrows), A.colind[low],
+                          A.values[low], A.shape)
+            U = CsrMatrix(csr_rowptr(rows[up], A.nrows), A.colind[up],
+                          A.values[up], A.shape)
+        else:
+            rows, cols, vals = A.to_coo_arrays()
+            low = rows >= cols
+            up = rows <= cols
+            L = CsrMatrix.from_coo(rows[low], cols[low], vals[low], A.shape)
+            U = CsrMatrix.from_coo(rows[up], cols[up], vals[up], A.shape)
+        L.annotate_triangular("lower")
+        U.annotate_triangular("upper")
+    return L, U
+
+
+def _reference_triangular_split(A: SparseFormat) -> Tuple[CsrMatrix, CsrMatrix]:
+    """Loop oracle for :func:`_triangular_split` (differential testing and
+    the conversion benchmark's baseline): element-wise partitioning through
+    the retained ``_reference_*`` data plane."""
     rows, cols, vals = A.to_coo_arrays()
-    low = rows >= cols
-    up = rows <= cols
-    L = CsrMatrix.from_coo(rows[low], cols[low], vals[low], A.shape)
+    r_low, c_low, v_low = [], [], []
+    r_up, c_up, v_up = [], [], []
+    for r, c, v in zip(rows, cols, vals):
+        if r >= c:
+            r_low.append(int(r))
+            c_low.append(int(c))
+            v_low.append(float(v))
+        if r <= c:
+            r_up.append(int(r))
+            c_up.append(int(c))
+            v_up.append(float(v))
+    L = CsrMatrix._reference_from_coo(
+        np.array(r_low, dtype=np.int64), np.array(c_low, dtype=np.int64),
+        np.array(v_low, dtype=np.float64), A.shape)
     L.annotate_triangular("lower")
-    U = CsrMatrix.from_coo(rows[up], cols[up], vals[up], A.shape)
+    U = CsrMatrix._reference_from_coo(
+        np.array(r_up, dtype=np.int64), np.array(c_up, dtype=np.int64),
+        np.array(v_up, dtype=np.float64), A.shape)
     U.annotate_triangular("upper")
     return L, U
 
@@ -258,7 +303,11 @@ class SolverContext:
         the preconditioners)."""
         if self._diag is None:
             n = min(self.A.shape)
-            self._diag = np.array([self.A.get(i, i) for i in range(n)])
+            rows, cols, vals = self.A.to_coo_arrays()
+            on_diag = rows == cols
+            d = np.zeros(n)
+            d[rows[on_diag]] = vals[on_diag]
+            self._diag = d
         return self._diag
 
     # -- bound operations -------------------------------------------------

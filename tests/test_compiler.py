@@ -30,8 +30,18 @@ def run_both_backends(kernel_name, fmt_name, matrix_coo, array_name,
     """Compile once; execute dense reference, interpreter, and generated
     code; all three must agree."""
     kwargs = {"block_size": 2} if fmt_name == "bsr" else {}
-    fmt_i = as_format(matrix_coo, fmt_name, **kwargs)
-    fmt_g = as_format(matrix_coo, fmt_name, **kwargs)
+
+    def instance():
+        inst = as_format(matrix_coo, fmt_name, **kwargs)
+        if inst is matrix_coo:
+            # identity conversions return the instance itself; the
+            # in-place kernels below need independent storage per backend
+            inst = type(inst).from_coo(*matrix_coo.to_coo_arrays(),
+                                       matrix_coo.shape, **kwargs)
+        return inst
+
+    fmt_i = instance()
+    fmt_g = instance()
     dense = fmt_i.to_dense() if fmt_name in ("dia", "msr", "bsr", "dense") \
         else as_format(matrix_coo, "dense").data
     k = compile_cached(kernel_name, fmt_name, fmt_i, array_name)
