@@ -1,0 +1,240 @@
+"""Load generator for the compilation daemon (:mod:`repro.core.daemon`).
+
+Measures the service under concurrent clients at several fan-out levels,
+cold (every request is a new program/matrix pair, so the full pipeline
+runs) and warm (the same requests repeated, so the daemon answers off
+its handle LRU).  Each level gets a fresh in-process server and cleared
+compile caches, so levels don't warm each other; requests still travel
+the real socket + length-prefixed JSON protocol.
+
+Per level the run records throughput (requests/s) and per-request
+latency p50/p99 into ``BENCH_service.json`` at the repo root via the
+shared :func:`benchmarks.conftest.record_bench` appender.
+
+Usage::
+
+    python benchmarks/bench_service.py
+    python benchmarks/bench_service.py --clients 1,8,64 --requests 4
+    python benchmarks/bench_service.py --clients 1,8 --requests 2 --check
+
+``--check`` (the CI smoke mode) exits non-zero unless every request
+succeeded, the warm pass ran zero additional toolchain/pipeline
+invocations (``service.items`` and ``native.compiles`` deltas are
+both 0 — repeats are served entirely off the handle layer), warm p50
+beats cold p50, and the JSON file is a well-formed list of records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for p in (_ROOT, os.path.join(_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+from benchmarks.conftest import record_bench  # noqa: E402
+from repro.core import backend as be  # noqa: E402
+from repro.core.cache import clear_compile_cache  # noqa: E402
+from repro.core.client import ServiceClient  # noqa: E402
+from repro.core.daemon import CompileServer  # noqa: E402
+from repro.formats import as_format  # noqa: E402
+from repro.formats.generate import random_sparse  # noqa: E402
+from repro.instrument import INSTR  # noqa: E402
+from repro.ir.kernels import ALL_KERNELS  # noqa: E402
+from repro.ir.printer import program_to_text  # noqa: E402
+
+BENCH_FILE = "BENCH_service.json"
+
+#: kernels cycled through to generate distinct requests
+_KERNELS = ["mvm", "row_sums", "mvm_t"]
+
+
+def _make_requests(n_clients: int, per_client: int, base_n: int):
+    """One request list per client: (source, {"A": fmt}) pairs, every
+    pair unique across the whole level (distinct matrix sizes force
+    distinct structural signatures, so a cold pass can't cache-hit)."""
+    out = []
+    serial = 0
+    for _c in range(n_clients):
+        reqs = []
+        for _r in range(per_client):
+            name = _KERNELS[serial % len(_KERNELS)]
+            n = base_n + serial
+            fmt = as_format(
+                random_sparse(n, n, density=0.3, seed=serial).to_dense(),
+                "csr")
+            reqs.append((program_to_text(ALL_KERNELS[name]()), {"A": fmt}))
+            serial += 1
+        out.append(reqs)
+    return out
+
+
+def _drive(address, request_lists, options):
+    """Every client in its own thread on its own connection; returns
+    (wall_seconds, latencies, errors)."""
+    lats, errors = [], []
+    lock = threading.Lock()
+    barrier = threading.Barrier(len(request_lists))
+
+    def client_main(reqs):
+        mine, bad = [], []
+        try:
+            with ServiceClient(address, timeout=300.0) as svc:
+                barrier.wait()
+                for src, bindings in reqs:
+                    t0 = time.perf_counter()
+                    try:
+                        svc.compile(src, bindings, options=options)
+                    except Exception as e:  # recorded; fails --check mode
+                        bad.append(f"{type(e).__name__}: {e}")
+                    mine.append(time.perf_counter() - t0)
+        except Exception as e:  # recorded; fails --check mode
+            bad.append(f"{type(e).__name__}: {e}")
+        with lock:
+            lats.extend(mine)
+            errors.extend(bad)
+
+    threads = [threading.Thread(target=client_main, args=(reqs,))
+               for reqs in request_lists]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return time.perf_counter() - t0, lats, errors
+
+
+def _pct(sorted_vals, q):
+    if not sorted_vals:
+        return None
+    return sorted_vals[min(len(sorted_vals) - 1, int(len(sorted_vals) * q))]
+
+
+def run_level(n_clients: int, per_client: int, base_n: int, backend: str):
+    """Fresh server + cold caches; cold pass then warm pass."""
+    clear_compile_cache()
+    be.reset_toolchain_cache()
+    options = {"backend": backend} if backend != "auto" else {}
+    request_lists = _make_requests(n_clients, per_client, base_n)
+    out = {"clients": n_clients, "requests": n_clients * per_client}
+    with CompileServer(host="127.0.0.1",
+                       queue_depth=max(64, 2 * n_clients)) as srv:
+        for pass_name in ("cold", "warm"):
+            compiles0 = (INSTR.get("service.items"),
+                         INSTR.get("native.compiles"))
+            wall, lats, errors = _drive(srv.address, request_lists, options)
+            lats.sort()
+            out[pass_name] = {
+                "wall_seconds": wall,
+                "throughput_rps": len(lats) / wall if wall > 0 else None,
+                "p50_ms": (_pct(lats, 0.50) or 0) * 1e3,
+                "p99_ms": (_pct(lats, 0.99) or 0) * 1e3,
+                "errors": errors,
+                "pipeline_compiles": INSTR.get("service.items")
+                - compiles0[0],
+                "native_compiles": INSTR.get("native.compiles")
+                - compiles0[1],
+            }
+        out["stats"] = {"handles": None}
+        with ServiceClient(srv.address) as svc:
+            st = svc.stats()
+            out["stats"] = {
+                "handles": st["handles"],
+                "payloads": st["payloads"],
+                "handle_hits":
+                    st["counters"].get("daemon.handle.hits", 0),
+                "coalesced": st["counters"].get("daemon.coalesced", 0),
+            }
+            svc.shutdown()
+        srv.wait_stopped(30)
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", default="1,8,64",
+                    help="comma-separated concurrency levels (default 1,8,64)")
+    ap.add_argument("--requests", type=int, default=4,
+                    help="requests per client per pass (default 4)")
+    ap.add_argument("--n", type=int, default=12,
+                    help="base matrix size; request i uses n+i (default 12)")
+    ap.add_argument("--backend", default="auto",
+                    choices=["auto", "python", "c"],
+                    help="backend option sent with every request")
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: fail unless warm pass is pipeline-free "
+                         "and faster, and the JSON file is well-formed")
+    args = ap.parse_args(argv)
+
+    levels = [int(c) for c in args.clients.split(",") if c.strip()]
+    failures = []
+    for n_clients in levels:
+        res = run_level(n_clients, args.requests, args.n, args.backend)
+        for pass_name in ("cold", "warm"):
+            p = res[pass_name]
+            record_bench(
+                BENCH_FILE,
+                f"service-{pass_name}-c{n_clients}",
+                p["wall_seconds"],
+                clients=n_clients,
+                requests=res["requests"],
+                throughput_rps=p["throughput_rps"],
+                p50_ms=p["p50_ms"],
+                p99_ms=p["p99_ms"],
+                pipeline_compiles=p["pipeline_compiles"],
+                native_compiles=p["native_compiles"],
+                backend=args.backend,
+                errors=len(p["errors"]),
+            )
+            print(f"[bench_service] {pass_name:4s} c={n_clients:<3d} "
+                  f"{p['throughput_rps']:8.1f} req/s  "
+                  f"p50={p['p50_ms']:7.2f}ms  p99={p['p99_ms']:7.2f}ms  "
+                  f"pipeline={p['pipeline_compiles']} "
+                  f"native={p['native_compiles']} "
+                  f"errors={len(p['errors'])}")
+        if args.check:
+            cold, warm = res["cold"], res["warm"]
+            for pass_name in ("cold", "warm"):
+                for e in res[pass_name]["errors"]:
+                    failures.append(f"c={n_clients} {pass_name}: {e}")
+            if warm["pipeline_compiles"] != 0:
+                failures.append(
+                    f"c={n_clients}: warm pass ran "
+                    f"{warm['pipeline_compiles']} pipeline compiles "
+                    "(want 0: repeats must be served off the handle layer)")
+            if warm["native_compiles"] != 0:
+                failures.append(
+                    f"c={n_clients}: warm pass invoked the toolchain "
+                    f"{warm['native_compiles']} times (want 0)")
+            if warm["p50_ms"] >= cold["p50_ms"]:
+                failures.append(
+                    f"c={n_clients}: warm p50 {warm['p50_ms']:.2f}ms not "
+                    f"below cold p50 {cold['p50_ms']:.2f}ms")
+
+    if args.check:
+        try:
+            with open(os.path.join(_ROOT, BENCH_FILE)) as f:
+                entries = json.load(f)
+            if not isinstance(entries, list) or not entries:
+                failures.append(f"{BENCH_FILE} is not a non-empty list")
+        except (OSError, ValueError) as e:
+            failures.append(f"{BENCH_FILE} unreadable: {e}")
+        if failures:
+            print("[bench_service] CHECK FAILED", file=sys.stderr)
+            for f_ in failures:
+                print(f"  - {f_}", file=sys.stderr)
+            return 1
+        print("[bench_service] check ok: warm passes were pipeline-free "
+              "and faster")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

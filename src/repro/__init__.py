@@ -17,6 +17,9 @@ Public surface:
 - :func:`compile_kernel` / :class:`CompiledKernel` — the compiler;
 - :func:`compile_many` / :class:`BatchResult` — the thread-pooled batch
   driver with per-item failure isolation;
+- :class:`CompileServer` / :class:`ServiceClient` — the
+  compilation-as-a-service daemon and its RPC client (one warm cache
+  serving a fleet; ``python -m repro.core.daemon --socket ...``);
 - :mod:`repro.ir` (and :mod:`repro.ir.kernels` as ``repro.kernels``) — the
   dense-program high-level API;
 - :mod:`repro.formats` — formats, the view grammar, I/O, generators
@@ -36,6 +39,25 @@ from repro.ir import kernels
 from repro.search.format_select import select_format
 from repro.solvers.context import SolverContext
 
+# lazy (PEP 562) so `python -m repro.core.daemon` doesn't re-execute an
+# already-imported module and plain `import repro` stays socket-free
+_LAZY = {
+    "CompileServer": "repro.core.daemon",
+    "ServiceClient": "repro.core.client",
+}
+
+
+def __getattr__(name):
+    modname = _LAZY.get(name)
+    if modname is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(modname), name)
+    globals()[name] = value
+    return value
+
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -44,6 +66,8 @@ __all__ = [
     "BatchResult",
     "CompileOutcome",
     "compile_many",
+    "CompileServer",
+    "ServiceClient",
     "as_format",
     "convert",
     "parse_program",

@@ -39,6 +39,29 @@ from repro.core.backend import NativeBackendWarning, NativeKernel
 from repro.core.service import BatchResult, CompileOutcome, compile_many
 from repro.core.parallel import ParallelReport, analyze_parallelism, annotate_c_source
 
+# The daemon/client pair is loaded lazily (PEP 562): eagerly importing
+# repro.core.daemon here would shadow `python -m repro.core.daemon`
+# (runpy warns when the module is already in sys.modules) and drags
+# socket plumbing into every compile-only import.
+_LAZY = {
+    "CompileServer": "repro.core.daemon",
+    "ServiceClient": "repro.core.client",
+    "ServiceError": "repro.core.client",
+    "RemoteCompileError": "repro.core.client",
+    "RemoteOutcome": "repro.core.client",
+}
+
+
+def __getattr__(name):
+    modname = _LAZY.get(name)
+    if modname is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(modname), name)
+    globals()[name] = value
+    return value
+
 __all__ = [
     "ProductDim",
     "ProductSpace",
@@ -80,6 +103,11 @@ __all__ = [
     "BatchResult",
     "CompileOutcome",
     "compile_many",
+    "CompileServer",
+    "ServiceClient",
+    "ServiceError",
+    "RemoteCompileError",
+    "RemoteOutcome",
     "ParallelReport",
     "analyze_parallelism",
     "annotate_c_source",

@@ -16,10 +16,13 @@ single-threaded (pragmas are simply not activated).
 **Artifact cache** — compiled ``.so`` files are cached in-process by
 digest of (C source, flags, compiler identity), and, when the compilation
 cache runs in ``disk`` mode, persisted under the same cache directory
-with atomic writes (compile to a temp name, ``os.replace``).  A missing
-or unloadable artifact is a miss: the kernel is recompiled.  The digest
-subsumes the structural signature — the structural key determines the
-generated Python source, which determines the C source.
+with atomic writes (compile to a temp name, ``os.replace``).  On-disk
+artifacts are sharded by digest prefix (``cache_dir/ab/abcd....so``) so a
+fleet-shared ``REPRO_CACHE_DIR`` never degrades into one huge flat
+directory.  A missing or unloadable artifact is a miss: the kernel is
+recompiled.  The digest subsumes the structural signature — the
+structural key determines the generated Python source, which determines
+the C source.
 
 **Single-flight** — when N threads request the same digest concurrently,
 exactly one (the *leader*) invokes the C toolchain; the rest wait on a
@@ -30,7 +33,10 @@ independently rather than hang; a follower whose leader *failed* retries
 the compile once itself before giving up, so one transient toolchain
 hiccup doesn't fail a whole batch.  Across processes the same guarantee
 comes from an ``flock`` on ``<digest>.so.lock``: the winner compiles,
-losers block on the lock and then find the finished artifact.
+losers block on the lock and then find the finished artifact.  Lock
+files are unlinked by their holder on release (with an inode liveness
+re-check on acquire), so a long-lived shared cache directory doesn't
+accumulate them.
 
 **Fallback** — any failure (no toolchain, lowering limitation, compile
 error, load error) emits a :class:`NativeBackendWarning`, bumps an
@@ -57,6 +63,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.instrument import INSTR
+from repro.util.env import env_float
 
 try:
     import fcntl
@@ -185,8 +192,9 @@ _INFLIGHT_LOCK = threading.Lock()
 
 def singleflight_timeout() -> float:
     """Seconds a follower waits for the leader before compiling itself
-    (``REPRO_SINGLEFLIGHT_TIMEOUT``, default 300)."""
-    return float(os.environ.get("REPRO_SINGLEFLIGHT_TIMEOUT", "300") or "300")
+    (``REPRO_SINGLEFLIGHT_TIMEOUT``, default 300; malformed values warn
+    and fall back to the default)."""
+    return env_float("REPRO_SINGLEFLIGHT_TIMEOUT", 300.0, minimum=0.0)
 
 
 @contextmanager
@@ -195,24 +203,56 @@ def _artifact_lock(out_path: str):
     ``out_path + '.lock'``.  Processes that cannot take the lock (no fcntl,
     unwritable directory) fall through unguarded — the temp-file +
     ``os.replace`` write is still atomic, the guard only prevents the
-    duplicated toolchain work."""
+    duplicated toolchain work.
+
+    The lock file is unlinked by its holder *before* releasing the flock,
+    so a shared cache directory never accumulates stale ``.lock`` files.
+    Unlink-then-release is only safe with a liveness re-check on acquire:
+    a process may flock an inode that the previous holder has since
+    unlinked (a fresh file — and a fresh lock — could already exist under
+    the same name), so after taking the flock we verify the fd still
+    names the on-disk path and retry on a fresh open if not."""
     if fcntl is None:
         yield
         return
+    lock_path = out_path + ".lock"
+    f = None
     try:
-        f = open(out_path + ".lock", "a+b")
-    except OSError:
-        yield
-        return
-    try:
-        fcntl.flock(f.fileno(), fcntl.LOCK_EX)
-        yield
-    finally:
+        while True:
+            try:
+                f = open(lock_path, "a+b")
+                fcntl.flock(f.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                if f is not None:
+                    f.close()
+                    f = None
+                yield
+                return
+            try:
+                live = os.fstat(f.fileno()).st_ino == os.stat(lock_path).st_ino
+            except OSError:
+                live = False            # path unlinked: stale inode
+            if live:
+                break
+            f.close()
+            f = None
         try:
-            fcntl.flock(f.fileno(), fcntl.LOCK_UN)
-        except OSError:
-            pass
-        f.close()
+            yield
+        finally:
+            # still holding the exclusive lock on the live inode: no other
+            # process can be inside the critical section, and any process
+            # that already opened this inode will fail its liveness check
+            try:
+                os.unlink(lock_path)
+            except OSError:
+                pass
+            try:
+                fcntl.flock(f.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+    finally:
+        if f is not None:
+            f.close()
 
 
 def artifact_key(c_source: str, flags: Tuple[str, ...], cc: str) -> str:
@@ -221,9 +261,15 @@ def artifact_key(c_source: str, flags: Tuple[str, ...], cc: str) -> str:
 
 
 def _disk_so_path(digest: str) -> str:
+    """Sharded on-disk artifact path: ``cache_dir/ab/abcd....so``.
+
+    Fleet-shared cache directories hold one file per unique digest across
+    every program/format/param combination ever compiled; a two-hex-char
+    digest-prefix shard (256 buckets) keeps individual directories small
+    on filesystems where huge flat directories degrade."""
     from repro.core.cache import COMPILE_CACHE
 
-    return os.path.join(COMPILE_CACHE.disk_dir(), digest + ".so")
+    return os.path.join(COMPILE_CACHE.disk_dir(), digest[:2], digest + ".so")
 
 
 def _compile_so(cc: str, c_source: str, flags: Tuple[str, ...],

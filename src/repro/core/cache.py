@@ -62,6 +62,7 @@ from repro.instrument import INSTR
 from repro.ir.printer import program_to_text
 from repro.ir.program import Program
 from repro.search.driver import SearchResult, SearchStats
+from repro.util.env import env_int
 
 MODES = ("off", "memory", "disk")
 
@@ -273,7 +274,7 @@ class CompileCache:
 
 #: the process-wide compilation cache
 COMPILE_CACHE = CompileCache(
-    capacity=int(os.environ.get("REPRO_COMPILE_CACHE_SIZE", "256") or "256")
+    capacity=env_int("REPRO_COMPILE_CACHE_SIZE", 256, minimum=1)
 )
 
 

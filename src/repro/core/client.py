@@ -1,0 +1,277 @@
+"""Client for the compilation daemon (:mod:`repro.core.daemon`).
+
+:class:`ServiceClient` wraps the length-prefixed JSON protocol in a
+context-managed connection with retry-on-connect (daemons are typically
+started moments before their first client; the connect loop rides out
+the race) and payload-digest bookkeeping: the first time a format
+instance is submitted it travels as a full COO payload, and the client
+remembers the digest the daemon stored it under so every later request
+sends the digest string instead.  If the daemon has since evicted the
+payload (``unknown-digest``), the client transparently re-uploads and
+retries once.
+
+Usage::
+
+    from repro.core.client import ServiceClient
+
+    with ServiceClient(server.address) as svc:
+        h = svc.compile("mvm(m, n; A: matrix, x: vector, y: vector) {...}",
+                        {"A": A_csr}, options={"backend": "c"})
+        print(h.handle, h.backend_used, h.cost)
+        print(svc.stats()["latency"])
+
+``compile`` with a list of sources returns a list of
+:class:`RemoteOutcome` (per-item failure isolation, mirroring
+:class:`~repro.core.service.BatchResult`); with a single source it
+returns the :class:`RemoteOutcome` directly and raises
+:class:`RemoteCompileError` if that one item failed.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core import wire
+from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
+from repro.ir.printer import program_to_text
+from repro.ir.program import Program
+
+__all__ = ["ServiceClient", "ServiceError", "RemoteCompileError",
+           "RemoteOutcome"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with a request-level error (queue-full,
+    timeout, malformed, draining, ...).  ``code`` is the wire error
+    token; ``response`` the full response object."""
+
+    def __init__(self, code: str, detail: str = "",
+                 response: Optional[Dict] = None):
+        super().__init__(f"{code}: {detail}" if detail else code)
+        self.code = code
+        self.detail = detail
+        self.response = response or {}
+
+
+class RemoteCompileError(ServiceError):
+    """A single-program compile request failed on its one item."""
+
+
+@dataclass
+class RemoteOutcome:
+    """One per-item compile result from the daemon."""
+
+    ok: bool
+    handle: Optional[str] = None
+    program: Optional[str] = None
+    backend_used: Optional[str] = None
+    fallback_reason: Optional[str] = None
+    cost: Optional[float] = None
+    seconds: Optional[float] = None
+    cached: bool = False
+    search_cached: bool = False
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    raw: Dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_wire(cls, item: Dict) -> "RemoteOutcome":
+        known = {f for f in cls.__dataclass_fields__ if f != "raw"}
+        return cls(**{k: v for k, v in item.items() if k in known}, raw=item)
+
+
+Address = Union[str, Tuple[str, int], Sequence]
+
+
+class ServiceClient:
+    """One connection to a :class:`~repro.core.daemon.CompileServer`.
+
+    ``address`` is a unix-socket path (str) or a ``(host, port)`` tuple —
+    exactly what ``CompileServer.address`` returns.  Connection is lazy:
+    the first request (or ``__enter__``) dials, retrying
+    ``connect_retries`` times with exponential backoff to ride out a
+    daemon that is still binding its socket."""
+
+    def __init__(self, address: Address, *, timeout: float = 120.0,
+                 connect_retries: int = 20, retry_delay: float = 0.05):
+        self.address = address
+        self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_delay = retry_delay
+        self._sock: Optional[socket.socket] = None
+        #: format instance -> digest the daemon stored its payload under
+        self._digests: "weakref.WeakKeyDictionary[SparseFormat, str]" = \
+            weakref.WeakKeyDictionary()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Dial the daemon, retrying on not-yet-listening errors."""
+        if self._sock is not None:
+            return self
+        delay = self.retry_delay
+        last: Optional[Exception] = None
+        for attempt in range(max(1, self.connect_retries)):
+            if attempt:
+                time.sleep(delay)
+                delay = min(delay * 1.5, 2.0)
+            try:
+                self._sock = self._dial()
+                INSTR.count("client.connects")
+                return self
+            except (FileNotFoundError, ConnectionRefusedError,
+                    ConnectionResetError) as e:
+                INSTR.count("client.connect_retries")
+                last = e
+        raise ConnectionError(
+            f"cannot reach compile daemon at {self.address!r} "
+            f"after {self.connect_retries} attempts") from last
+
+    def _dial(self) -> socket.socket:
+        if isinstance(self.address, str):
+            if not hasattr(socket, "AF_UNIX"):  # pragma: no cover - non-POSIX
+                raise ConnectionError("AF_UNIX sockets unavailable")
+            s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            target = self.address
+        else:
+            host, port = self.address[0], self.address[1]
+            s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            target = (host, int(port))
+        s.settimeout(self.timeout)
+        try:
+            s.connect(target)
+        except BaseException:
+            s.close()
+            raise
+        return s
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw request ---------------------------------------------------------
+
+    def request(self, msg: Dict) -> Dict:
+        """One round-trip.  Raises :class:`ServiceError` on an error
+        response, ``ConnectionError`` if the daemon hangs up."""
+        self.connect()
+        try:
+            wire.send_frame(self._sock, msg)
+            resp = wire.recv_frame(self._sock)
+        except (OSError, wire.ProtocolError) as e:
+            self.close()
+            raise ConnectionError(f"daemon connection lost: {e}") from e
+        if resp is None:
+            self.close()
+            raise ConnectionError("daemon closed the connection")
+        if not resp.get("ok"):
+            raise ServiceError(resp.get("error", "error"),
+                               resp.get("detail", ""), resp)
+        return resp
+
+    # -- ops -----------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> Dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def describe(self, handle: str, source: bool = False) -> Dict:
+        return self.request({"op": "describe", "handle": handle,
+                             "source": bool(source)})
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit (the daemon answers first,
+        then stops accepting; in-flight requests still complete)."""
+        self.request({"op": "shutdown"})
+
+    def compile(self,
+                program: Union[str, Program, Sequence[Union[str, Program]]],
+                bindings: Mapping[str, Union[SparseFormat, Dict, str]],
+                params: Optional[Mapping[str, int]] = None,
+                *, options: Optional[Mapping] = None,
+                ) -> Union[RemoteOutcome, List[RemoteOutcome]]:
+        """Submit one program (or a batch) for compilation.
+
+        ``bindings`` values may be :class:`SparseFormat` instances
+        (shipped as COO payloads, digests memoized for reuse), raw wire
+        payload dicts, or digest strings from an earlier response."""
+        single = isinstance(program, (str, Program))
+        sources = [program] if single else list(program)
+        sources = [program_to_text(p) if isinstance(p, Program) else p
+                   for p in sources]
+
+        msg: Dict = {"op": "compile"}
+        if single:
+            msg["program"] = sources[0]
+        else:
+            msg["programs"] = sources
+        if params:
+            msg["params"] = {k: int(v) for k, v in params.items()}
+        if options:
+            msg["options"] = dict(options)
+
+        for attempt in (0, 1):
+            msg["bindings"] = self._encode_bindings(
+                bindings, force_payload=bool(attempt))
+            try:
+                resp = self.request(msg)
+            except ServiceError as e:
+                if e.code == "unknown-digest" and attempt == 0:
+                    # daemon evicted payloads we memoized: re-upload once
+                    for name in e.response.get("unknown", {}):
+                        fmt = bindings.get(name)
+                        if isinstance(fmt, SparseFormat):
+                            self._digests.pop(fmt, None)
+                    INSTR.count("client.digest_reuploads")
+                    continue
+                raise
+            break
+
+        for name, digest in resp.get("bindings", {}).items():
+            fmt = bindings.get(name)
+            if isinstance(fmt, SparseFormat):
+                self._digests[fmt] = digest
+        outcomes = [RemoteOutcome.from_wire(i) for i in resp["results"]]
+        if single:
+            out = outcomes[0]
+            if not out.ok:
+                raise RemoteCompileError(
+                    out.error_type or "compile-error", out.error or "", resp)
+            return out
+        return outcomes
+
+    def _encode_bindings(self, bindings: Mapping,
+                         force_payload: bool) -> Dict:
+        out: Dict = {}
+        for name, value in bindings.items():
+            if isinstance(value, SparseFormat):
+                digest = None if force_payload else self._digests.get(value)
+                if digest is not None:
+                    INSTR.count("client.digest_sends")
+                    out[name] = digest
+                else:
+                    out[name] = wire.encode_format(value)
+            elif isinstance(value, (dict, str)):
+                out[name] = value
+            else:
+                raise TypeError(
+                    f"binding {name!r} must be a SparseFormat, a wire "
+                    f"payload dict, or a digest string, "
+                    f"got {type(value).__name__}")
+        return out

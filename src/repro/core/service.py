@@ -32,8 +32,14 @@ from repro.core.compiler import CompiledKernel, compile_kernel
 from repro.formats.base import SparseFormat
 from repro.instrument import INSTR
 from repro.ir.program import Program
+from repro.util.env import env_int
 
 Bindings = Mapping[str, SparseFormat]
+
+
+class BatchItemError(Exception):
+    """Batch context attached to a re-raised per-item failure on
+    interpreters without ``BaseException.add_note`` (pre-3.11)."""
 
 
 @dataclass
@@ -89,10 +95,25 @@ class BatchResult:
 
     def raise_first(self) -> None:
         """Re-raise the first per-item failure (no-op on a clean batch) —
-        for callers that do want fail-fast semantics after the fact."""
+        for callers that do want fail-fast semantics after the fact.
+
+        The re-raised exception keeps its original traceback and gains
+        batch context naming the failing item — an exception note on
+        Python 3.11+, an explicit ``__cause__`` (``raise ... from``) on
+        older interpreters — so "which of the 40 programs was it?" is
+        answered by the traceback itself."""
         for o in self.outcomes:
             if not o.ok:
-                raise o.error
+                err = o.error
+                note = (f"compile_many item #{o.index} "
+                        f"(program {o.program.name!r})")
+                if hasattr(err, "add_note"):
+                    # idempotent: raise_first may run more than once on
+                    # the same stored exception
+                    if note not in getattr(err, "__notes__", ()):
+                        err.add_note(note)
+                    raise err
+                raise err from BatchItemError(note)  # pragma: no cover - py<3.11
 
     def __repr__(self):
         bad = len(self.errors)
@@ -148,7 +169,7 @@ def compile_many(
                  for p, b in zip(progs, binds)]
     pvals = _broadcast(param_values, n, "param_values")
     if max_workers is None:
-        max_workers = int(os.environ.get("REPRO_COMPILE_WORKERS", "0") or "0") \
+        max_workers = env_int("REPRO_COMPILE_WORKERS", 0, minimum=0) \
             or (os.cpu_count() or 1)
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")

@@ -1,0 +1,186 @@
+"""Wire protocol shared by the compilation daemon and its client.
+
+**Framing** — every message is one length-prefixed JSON frame: a 4-byte
+big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+Frames above :data:`MAX_FRAME` are rejected as malformed (a garbage
+length prefix must not make the receiver allocate gigabytes).
+
+**Array payloads** — COO triples travel as ``{"dtype", "b64"}`` objects:
+the raw C-contiguous bytes, base64-encoded.  That keeps the protocol
+pure JSON (no numpy pickles crossing trust boundaries) while staying a
+flat memcpy at both ends.
+
+**Binding payloads** — a format instance is shipped as its COO
+decomposition plus the target format name::
+
+    {"format": "csr", "shape": [m, n],
+     "rows": {...}, "cols": {...}, "vals": {...}}
+
+:func:`payload_digest` derives a stable content digest for such a
+payload; the daemon keeps a digest-addressed store of decoded instances
+so clients can re-bind a matrix they already uploaded by digest string
+alone (``{"digest": "..."}``) instead of re-sending megabytes of COO.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import socket
+import struct
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAX_FRAME", "ProtocolError", "send_frame", "recv_frame",
+    "encode_array", "decode_array", "encode_format", "decode_format",
+    "payload_digest",
+]
+
+#: hard ceiling on one frame (256 MiB) — admission control for memory
+MAX_FRAME = 256 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """Malformed frame or payload on the daemon wire protocol."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+def send_frame(sock: socket.socket, obj: Dict) -> None:
+    """Serialize ``obj`` as one length-prefixed JSON frame."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds MAX_FRAME")
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    chunks = []
+    got = 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict]:
+    """Read one frame; None on clean EOF before a length prefix.
+
+    Raises :class:`ProtocolError` on a truncated frame, an oversized
+    length prefix, non-JSON bytes, or a non-object top level."""
+    head = _recv_exact(sock, _LEN.size)
+    if head is None:
+        return None
+    (length,) = _LEN.unpack(head)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:
+        raise ProtocolError("connection closed after length prefix")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as e:
+        raise ProtocolError(f"frame body is not JSON: {e}") from e
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# Array / format payloads
+# ---------------------------------------------------------------------------
+
+def encode_array(arr: np.ndarray) -> Dict[str, str]:
+    a = np.ascontiguousarray(arr)
+    return {"dtype": str(a.dtype),
+            "b64": base64.b64encode(a.tobytes()).decode("ascii")}
+
+
+def decode_array(payload: Dict) -> np.ndarray:
+    try:
+        dtype = np.dtype(payload["dtype"])
+        raw = base64.b64decode(payload["b64"], validate=True)
+        return np.frombuffer(raw, dtype=dtype).copy()  # writable
+    except (KeyError, TypeError, ValueError) as e:
+        raise ProtocolError(f"bad array payload: {e}") from e
+
+
+def payload_digest(format_name: str, shape: Tuple[int, int],
+                   rows: np.ndarray, cols: np.ndarray,
+                   vals: np.ndarray) -> str:
+    """Content digest of one binding payload (format + shape + COO data).
+
+    Computed identically on both ends, so the client can predict the
+    digest the daemon will store a payload under."""
+    h = hashlib.sha256()
+    h.update(f"{format_name}\x1e{int(shape[0])}\x1e{int(shape[1])}"
+             .encode("utf-8"))
+    for a in (rows, cols, vals):
+        c = np.ascontiguousarray(a)
+        h.update(f"\x1e{c.dtype}\x1e".encode("utf-8"))
+        h.update(c.tobytes())
+    return h.hexdigest()
+
+
+def encode_format(fmt) -> Dict:
+    """Ship a :class:`~repro.formats.base.SparseFormat` instance as its
+    COO decomposition (the daemon rebuilds the named format from it)."""
+    rows, cols, vals = fmt.to_coo_arrays()
+    return {
+        "format": fmt.format_name,
+        "shape": [int(fmt.nrows), int(fmt.ncols)],
+        "rows": encode_array(rows),
+        "cols": encode_array(cols),
+        "vals": encode_array(vals),
+    }
+
+
+def decode_format(payload: Dict):
+    """Rebuild a format instance from a binding payload.
+
+    Returns ``(instance, digest)``.  Raises :class:`ProtocolError` on a
+    malformed payload or an unknown format name."""
+    from repro.formats.convert import FORMATS
+
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"binding payload must be an object, got {type(payload).__name__}")
+    name = payload.get("format")
+    cls = FORMATS.get(name)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown format {name!r} (known: {sorted(FORMATS)})")
+    shape = payload.get("shape")
+    if (not isinstance(shape, (list, tuple)) or len(shape) != 2
+            or not all(isinstance(s, int) and s >= 0 for s in shape)):
+        raise ProtocolError(f"bad shape {shape!r}")
+    try:
+        rows = decode_array(payload["rows"])
+        cols = decode_array(payload["cols"])
+        vals = decode_array(payload["vals"])
+    except KeyError as e:
+        raise ProtocolError(f"binding payload missing {e}") from e
+    if not (len(rows) == len(cols) == len(vals)):
+        raise ProtocolError(
+            f"COO triple lengths differ: {len(rows)}/{len(cols)}/{len(vals)}")
+    digest = payload_digest(name, (shape[0], shape[1]), rows, cols, vals)
+    try:
+        fmt = cls.from_coo(rows, cols, vals, (shape[0], shape[1]))
+    except (ValueError, IndexError, TypeError) as e:
+        raise ProtocolError(f"cannot build {name!r} from payload: {e}") from e
+    return fmt, digest

@@ -36,6 +36,14 @@ Counter namespaces used by the compiler:
                           single-flight coalescing, fallbacks
 - ``backend.run.*``     — per-call dispatch (native / python / interp)
 - ``service.*``         — compile_many batch driver traffic
+- ``daemon.*``          — compilation daemon: requests by op, handle-LRU
+                          and payload-store traffic, request coalescing,
+                          queue-full/draining rejections, timeouts,
+                          malformed frames, client disconnects
+- ``client.*``          — ServiceClient: connects/retries, digest sends
+                          and transparent payload re-uploads
+- ``env.*``             — REPRO_* environment variables that failed to
+                          parse and fell back to their defaults
 - ``solver.*``          — SolverContext setup/iterate phase split,
                           iteration counts, fast-path fallbacks
 - ``blas.handle.*``     — functional-API calls served by registered

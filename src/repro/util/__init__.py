@@ -1,10 +1,12 @@
 """Small shared utilities: exact linear algebra over rationals, validation,
-deterministic ordering helpers, and timing.
+deterministic ordering helpers, timing, and warn-and-default parsing of
+``REPRO_*`` numeric environment variables.
 
 These are deliberately dependency-light; the polyhedral machinery in
 :mod:`repro.polyhedra` builds on :mod:`repro.util.fractions_linalg`.
 """
 
+from repro.util.env import EnvVarWarning, env_float, env_int
 from repro.util.fractions_linalg import (
     FractionMatrix,
     rank,
@@ -23,4 +25,7 @@ __all__ = [
     "check",
     "require_type",
     "require_positive",
+    "EnvVarWarning",
+    "env_float",
+    "env_int",
 ]

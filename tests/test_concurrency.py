@@ -206,6 +206,33 @@ class TestCompileMany:
         with pytest.raises(KeyError):
             batch.raise_first()
 
+    def test_raise_first_attaches_batch_context(self, square):
+        """Regression: the re-raised exception must name the failing item
+        (index + program name) while keeping the original traceback."""
+        A = as_format(square, "csr")
+        progs = [ALL_KERNELS["mvm"](), ALL_KERNELS["row_sums"]()]
+        batch = compile_many(progs, [{"A": A}, {"NOPE": A}], max_workers=2)
+
+        with pytest.raises(KeyError) as exc_info:
+            batch.raise_first()
+        err = exc_info.value
+        assert err is batch[1].error            # same object, traceback intact
+        assert err.__traceback__ is not None
+        context = getattr(err, "__notes__", None) or [repr(err.__cause__)]
+        assert any("item #1" in c and "'row_sums'" in c for c in context), context
+        # the note must also render in the formatted traceback
+        import traceback
+
+        rendered = "".join(traceback.format_exception(err))
+        assert "item #1" in rendered and "row_sums" in rendered
+
+        # raising twice must not stack duplicate notes
+        with pytest.raises(KeyError):
+            batch.raise_first()
+        context2 = getattr(err, "__notes__", None)
+        if context2 is not None:
+            assert len([c for c in context2 if "item #1" in c]) == 1
+
     def test_broadcast_and_order(self, square):
         """One shared binding mapping broadcasts; outcomes keep input order."""
         A = as_format(square, "csr")

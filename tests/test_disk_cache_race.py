@@ -90,6 +90,14 @@ def test_concurrent_processes_one_cc_invocation(tmp_path):
     assert all(r["backend"].startswith("c") for r in results), results
     assert len({r["y"] for r in results}) == 1
 
-    files = os.listdir(tmp_path)
+    files = [str(p.relative_to(tmp_path)) for p in tmp_path.rglob("*")
+             if p.is_file()]
     assert not [f for f in files if f.endswith((".tmp.so", ".c"))], files
-    assert len([f for f in files if f.endswith(".so")]) == 1, files
+    # lock files are unlinked by their holder on release: a shared cache
+    # dir must not accumulate them (satellite: stale-lock cleanup)
+    assert not [f for f in files if f.endswith(".lock")], files
+    sos = [f for f in files if f.endswith(".so")]
+    assert len(sos) == 1, files
+    # artifacts shard by digest prefix: cache_dir/ab/abcd....so
+    shard, name = os.path.split(sos[0])
+    assert shard == name[:2], sos

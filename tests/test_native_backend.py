@@ -271,8 +271,9 @@ class TestArtifactCache:
         be.reset_toolchain_cache()
         kc, A = self._compile_c(square, "disk")
         assert kc.backend_used != "python"
-        sos = list(tmp_path.glob("*.so"))
+        sos = list(tmp_path.rglob("*.so"))
         assert len(sos) == 1, "exactly one .so artifact persisted"
+        assert sos[0].parent.name == sos[0].name[:2], "sharded by digest prefix"
 
         # a fresh process would have an empty memory layer: simulate by
         # clearing it, then recompile — must be served from disk
@@ -311,7 +312,7 @@ class TestArtifactCache:
         subprocess.run([sys.executable, "-c", seed], env=env, check=True,
                        cwd=os.path.dirname(os.path.dirname(
                            os.path.abspath(__file__))))
-        [so] = tmp_path.glob("*.so")
+        [so] = tmp_path.rglob("*.so")
         so.write_bytes(b"not an ELF object")
 
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
