@@ -1,0 +1,204 @@
+"""Structure-adaptive autotuning benchmark: learned vs analytical format
+selection across five structure families, plus the winner-cache warm path.
+
+For each family the benchmark takes the analytical (Figure 11) pick and
+the ``mode="auto"`` pick, measures both chosen kernels on the same matvec
+workload, and reports the win (auto matching or beating the model) and
+the speedup.  It then repeats the auto selection on a *second* matrix of
+the same structure class and reports the warm-path selection time — the
+winner cache must serve it with zero micro-benchmark runs.
+
+Results append to ``BENCH_autotune.json`` at the repo root via the shared
+:func:`benchmarks.conftest.record_bench` appender.
+
+Usage::
+
+    python benchmarks/bench_autotune.py --n 10000
+    python benchmarks/bench_autotune.py --n 2000 --check
+
+``--check`` (the CI smoke mode) exits non-zero unless auto matches or
+beats the analytical pick on at least 4 of the 5 families, the warm
+selection clears its speedup floor over the cold tune, the warm path
+performed **zero** micro-benchmark runs (asserted through the
+``autotune.microbench.runs`` counter), and the JSON file is a well-formed
+list of records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for p in (_ROOT, os.path.join(_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np  # noqa: E402
+
+from benchmarks.conftest import record_bench  # noqa: E402
+from repro.core.cache import clear_compile_cache  # noqa: E402
+from repro.core.compiler import infer_param_values  # noqa: E402
+from repro.formats.generate import (  # noqa: E402
+    banded,
+    block_structured,
+    power_law_rows,
+    random_sparse,
+)
+from repro.instrument import INSTR  # noqa: E402
+from repro.ir.kernels import mvm  # noqa: E402
+from repro.search.autotune import clear_winner_cache  # noqa: E402
+from repro.search.format_select import select_format  # noqa: E402
+from repro.util.timing import best_of  # noqa: E402
+
+BENCH_FILE = "BENCH_autotune.json"
+
+#: auto "wins" when its pick is within this factor of the model pick (the
+#: two are often the same format; the slack absorbs timer noise — at the
+#: micro-kernel scale two formats within ~20% are a measurement tie, and
+#: what the benchmark must catch is auto committing to a clearly *bad*
+#: format)
+WIN_TOLERANCE = 1.25
+
+
+def families(n):
+    """The five structure classes, each a ``seed -> matrix`` generator."""
+    density = min(0.05, 5.0 / n)   # ~5 nnz per row at scale
+    return {
+        "uniform": lambda seed: random_sparse(n, n, density, seed=seed),
+        "banded": lambda seed: banded(n, bandwidth=2, seed=seed),
+        "powerlaw": lambda seed: power_law_rows(n, n, seed=seed),
+        "block": lambda seed: block_structured(n, block_size=4, seed=seed),
+        "diagdom": lambda seed: random_sparse(n, n, density, seed=seed,
+                                              ensure_diag=True),
+    }
+
+
+def measure_pick(program, inst, kernel, repeats):
+    """Measured seconds of one chosen kernel on the shared matvec
+    workload (kernel materialized outside the timing)."""
+    params = {k: int(v) for k, v in
+              infer_param_values(program, {"A": inst}).items()}
+    rng = np.random.default_rng(0)
+    size = max(inst.nrows, inst.ncols, 1)
+    x = rng.random(size)
+    y = np.zeros(size)
+    if kernel.native() is None:
+        kernel.callable()
+    return best_of(lambda: kernel({"A": inst, "x": x, "y": y}, params),
+                   repeats=max(5, repeats), min_time=0.05)
+
+
+def run_family(name, gen, program, backend, repeats):
+    """Returns a result dict for one structure family."""
+    A = gen(0)
+    B = gen(1)   # same structure class, different sample
+
+    # cold tune FIRST, with a cleared compile cache, so t_cold is what a
+    # first-time selection actually pays (candidate compiles + top-k
+    # micro-benchmarks); families would otherwise share compiled kernels
+    clear_compile_cache()
+    t0 = time.perf_counter()
+    res_cold = select_format(program, "A", A, mode="auto", backend=backend,
+                             repeats=max(5, repeats))
+    t_cold = time.perf_counter() - t0
+    auto_fmt, auto_inst, auto_kernel = res_cold.best
+
+    res_model = select_format(program, "A", A, mode="model", backend=backend)
+    model_fmt, model_inst, model_kernel = res_model.best
+    t_model = measure_pick(program, model_inst, model_kernel, repeats)
+    t_auto = measure_pick(program, auto_inst, auto_kernel, repeats)
+
+    runs_before = INSTR.get("autotune.microbench.runs")
+    t0 = time.perf_counter()
+    res_warm = select_format(program, "A", B, mode="auto", backend=backend)
+    t_warm = time.perf_counter() - t0
+    warm_runs = INSTR.get("autotune.microbench.runs") - runs_before
+
+    win = t_auto <= t_model * WIN_TOLERANCE
+    warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    record_bench(BENCH_FILE, f"autotune/{name}/model-pick", t_model,
+                 fmt=model_fmt, backend=backend)
+    record_bench(BENCH_FILE, f"autotune/{name}/auto-pick", t_auto,
+                 fmt=auto_fmt, backend=backend, win=bool(win),
+                 speedup=t_model / t_auto if t_auto > 0 else float("inf"))
+    record_bench(BENCH_FILE, f"autotune/{name}/cold-select", t_cold,
+                 backend=backend)
+    record_bench(BENCH_FILE, f"autotune/{name}/warm-select", t_warm,
+                 backend=backend, cached=bool(res_warm.cached),
+                 microbench_runs=warm_runs, speedup=warm_speedup)
+    print(f"  {name:9s} model {model_fmt:4s} {t_model * 1e3:8.3f} ms   "
+          f"auto {auto_fmt:4s} {t_auto * 1e3:8.3f} ms   "
+          f"{'WIN ' if win else 'LOSS'}  "
+          f"warm {t_warm * 1e3:7.2f} ms ({warm_speedup:6.0f}x, "
+          f"{warm_runs} runs, cached={res_warm.cached})")
+    return {"family": name, "win": win, "warm_speedup": warm_speedup,
+            "warm_runs": warm_runs, "warm_cached": bool(res_warm.cached)}
+
+
+def check_json():
+    path = os.path.join(_ROOT, BENCH_FILE)
+    with open(path) as f:
+        entries = json.load(f)
+    assert isinstance(entries, list) and entries, "empty trajectory"
+    for e in entries:
+        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
+    return len(entries)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=10000,
+                    help="matrix dimension per family")
+    ap.add_argument("--backend", default="c", choices=("c", "python"))
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of repeats per timing")
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: fail unless auto wins >= 4/5 families, "
+                         "the warm path clears its speedup floor, and warm "
+                         "selection runs zero micro-benchmarks")
+    args = ap.parse_args(argv)
+
+    program = mvm()
+    print(f"autotune benchmark: n={args.n}, backend={args.backend}")
+    clear_winner_cache()
+    results = [run_family(name, gen, program, args.backend, args.repeats)
+               for name, gen in families(args.n).items()]
+    n_entries = check_json()
+    print(f"  {BENCH_FILE}: {n_entries} records")
+
+    wins = sum(1 for r in results if r["win"])
+    worst_warm = min(r["warm_speedup"] for r in results)
+    stray_runs = [(r["family"], r["warm_runs"]) for r in results
+                  if r["warm_runs"] or not r["warm_cached"]]
+    print(f"  auto wins {wins}/{len(results)} families; "
+          f"worst warm speedup {worst_warm:.0f}x")
+
+    if args.check:
+        fail = []
+        if wins < len(results) - 1:
+            fail.append(f"auto won only {wins}/{len(results)} families")
+        # at full scale the cold tune dwarfs the O(nnz) warm replay; at
+        # CI-smoke sizes both shrink and the ratio compresses
+        floor = 50.0 if args.n >= 10000 else 15.0
+        if worst_warm < floor:
+            fail.append(f"warm selection speedup {worst_warm:.1f}x below "
+                        f"the {floor:.0f}x floor")
+        if stray_runs:
+            fail.append(f"warm path was not a pure cache replay: "
+                        f"{stray_runs}")
+        if fail:
+            for msg in fail:
+                print(f"FAIL: {msg}", file=sys.stderr)
+            return 1
+        print("check ok: learned selection matches or beats the model, "
+              "warm path replays the cached winner with zero measurements")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,7 +92,8 @@ _OPTION_TYPES = {
     "simplify_guards": bool,
 }
 
-_STATS_PREFIXES = ("daemon.", "native.", "cache.", "service.", "env.")
+_STATS_PREFIXES = ("daemon.", "native.", "cache.", "service.", "env.",
+                   "autotune.", "select.")
 
 
 def _run_compile(programs, bindings, param_values, options):
@@ -607,6 +608,16 @@ class CompileServer:
                                      int(len(lats) * 0.99))] * 1e3
         counters = {k: v for k, v in INSTR.counters.items()
                     if k.startswith(_STATS_PREFIXES)}
+        hits = (counters.get("autotune.cache.hits.memory", 0)
+                + counters.get("autotune.cache.hits.disk", 0))
+        lookups = counters.get("autotune.cache.lookups", 0)
+        autotune = {
+            "tunes": counters.get("autotune.tunes", 0),
+            "coalesced": counters.get("autotune.coalesced", 0),
+            "winner_cache_hits": hits,
+            "winner_cache_lookups": lookups,
+            "winner_cache_hit_rate": (hits / lookups) if lookups else None,
+        }
         with self._admit_lock:
             admitted = self._admitted
         with self._active_cv:
@@ -623,6 +634,7 @@ class CompileServer:
             "handles": len(self._handles),
             "payloads": len(self._payloads),
             "latency": lat,
+            "autotune": autotune,
             "counters": counters,
         }
 

@@ -22,6 +22,7 @@ symbolic guesses.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.plan import (
@@ -43,18 +44,31 @@ from repro.formats.base import SparseFormat
 from repro.formats.views import BINARY, DIRECT, LINEAR, NOSEARCH
 
 
+#: guards creation of the per-instance memo dict and insertion into it
+#: (same pattern as the FM/pair memos); lookups stay lock-free ``dict.get``
+_STEP_TOTALS_LOCK = threading.Lock()
+
+
 def step_totals(fmt: SparseFormat, path_id: str) -> List[float]:
     """Total number of (key, state) pairs produced at each step of a path,
     summed over all prefixes — e.g. CSR "rows": [m, nnz].
 
     Memoized per format *instance* (instances are immutable once built), so
-    unknown formats pay the exact enumeration measurement once."""
-    cache: Dict[str, List[float]] = fmt.__dict__.setdefault("_step_totals_cache", {})
-    hit = cache.get(path_id)
-    if hit is None:
-        hit = _step_totals_uncached(fmt, path_id)
-        cache[path_id] = hit
-    return hit
+    unknown formats pay the exact enumeration measurement once.  Insertion
+    is locked: concurrent auto-mode selections share instances, and an
+    unguarded ``__dict__.setdefault`` race could hand two threads two
+    different memo dicts, losing one's entries.  First writer wins, so
+    every caller converges on one shared list per path."""
+    cache: Optional[Dict[str, List[float]]] = fmt.__dict__.get(
+        "_step_totals_cache")
+    if cache is not None:
+        hit = cache.get(path_id)
+        if hit is not None:
+            return hit
+    computed = _step_totals_uncached(fmt, path_id)
+    with _STEP_TOTALS_LOCK:
+        cache = fmt.__dict__.setdefault("_step_totals_cache", {})
+        return cache.setdefault(path_id, computed)
 
 
 def _step_totals_uncached(fmt: SparseFormat, path_id: str) -> List[float]:

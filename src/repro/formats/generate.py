@@ -125,6 +125,53 @@ def can_1072_like(n: int = 1072, target_nnz: int = 12444, seed: int = 1072) -> C
     return CooMatrix.from_coo(rows_all, cols_all, vals, (n, n))
 
 
+def power_law_rows(m: int, n: int, nnz_target: Optional[int] = None,
+                   alpha: float = 1.3, seed: int = 0) -> CooMatrix:
+    """Sparse matrix with power-law row lengths: a few very heavy rows and
+    a long tail of near-empty ones (web graphs, social networks — the
+    structure class where ELL collapses and row-balanced formats lose).
+
+    Row lengths follow ``rank^-alpha`` scaled to ``nnz_target`` (default
+    ``5 * m``), clipped to ``[1, n]``, and shuffled so row index and row
+    length are uncorrelated; columns are uniform."""
+    rng = np.random.default_rng(seed)
+    if nnz_target is None:
+        nnz_target = 5 * m
+    ranks = np.arange(1, m + 1, dtype=np.float64)
+    weights = ranks ** -alpha
+    counts = np.round(weights / weights.sum() * nnz_target).astype(np.int64)
+    counts = np.clip(counts, 1, n)
+    counts = counts[rng.permutation(m)]
+    rows = np.repeat(np.arange(m, dtype=np.int64), counts)
+    cols = rng.integers(0, n, size=int(counts.sum()))
+    vals = rng.random(rows.size) + 0.5
+    return CooMatrix.from_coo(rows, cols, vals, (m, n))
+
+
+def block_structured(n: int, block_size: int = 4, blocks_per_row: int = 2,
+                     seed: int = 0) -> CooMatrix:
+    """Matrix of fully dense ``block_size x block_size`` tiles on a sparse
+    block skeleton (FEM with vector unknowns — the BSR sweet spot): every
+    block row gets its diagonal block plus ``blocks_per_row`` random ones.
+    ``n`` is rounded down to a multiple of ``block_size``."""
+    s = int(block_size)
+    nb = max(1, n // s)
+    rng = np.random.default_rng(seed)
+    rb = np.concatenate([np.repeat(np.arange(nb, dtype=np.int64),
+                                   blocks_per_row),
+                         np.arange(nb, dtype=np.int64)])
+    cb = np.concatenate([rng.integers(0, nb, size=nb * blocks_per_row),
+                         np.arange(nb, dtype=np.int64)])
+    # expand each block coordinate to its dense s x s tile
+    ri, ci = np.meshgrid(np.arange(s), np.arange(s), indexing="ij")
+    rows = (rb[:, None] * s + ri.ravel()[None, :]).ravel()
+    cols = (cb[:, None] * s + ci.ravel()[None, :]).ravel()
+    vals = rng.random(rows.size) + 0.5
+    # strengthen the diagonal (duplicate blocks are summed by from_coo)
+    vals[rows == cols] += float(s * (blocks_per_row + 1))
+    return CooMatrix.from_coo(rows, cols, vals, (nb * s, nb * s))
+
+
 def lower_triangular_of(mat: CooMatrix, unit_free_diag: bool = True) -> CooMatrix:
     """The lower-triangular part (including diagonal) of a matrix, with the
     diagonal forced non-zero so it can drive a triangular solve — exactly

@@ -54,7 +54,18 @@ Counter namespaces used by the compiler:
                           format pair (``format.convert.csr->ell``)
 - ``select.*``          — format selection: the shared one-time COO
                           extraction (``select.extract`` phase,
-                          ``select.candidates`` counter)
+                          ``select.candidates`` counter), auto-mode
+                          entries (``select.auto``)
+- ``autotune.*``        — structure-adaptive autotuning: feature
+                          extraction and measurement phases
+                          (``autotune.features`` / ``autotune.measure``),
+                          tunes performed, winner-cache traffic
+                          (``autotune.cache.lookups`` /
+                          ``.hits.memory`` / ``.hits.disk`` /
+                          ``.misses``), single-flight coalescing
+                          (``autotune.coalesced``), micro-benchmark runs
+                          (``autotune.microbench.runs``), cached-winner
+                          replays and replay failures
 - ``solver.split``      — SolverContext triangular-split phase timer
 """
 

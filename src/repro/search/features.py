@@ -1,0 +1,262 @@
+"""O(nnz) sparsity-structure feature extraction and quantized signatures.
+
+The analytical cost model (Figure 11) ranks formats from trip counts alone
+— it cannot see the *structure* that actually decides the winner: a banded
+matrix and a power-law one with the same nnz rank identically under the
+model, yet favour different formats once constant factors enter.
+AlphaSparse and SpComp (PAPERS.md) both drive format and schedule choice
+from cheap structure features; this module extracts them with vectorized
+NumPy in one O(nnz) pass over the pattern:
+
+- row-length distribution: mean, coefficient of variation, max/mean ratio,
+  and a log2-bucketed histogram;
+- bandedness: the bandwidth (max ``|r - c|``) and the mean ``|r - c|``
+  relative to the matrix order, and the fill of the band spanned;
+- block density: how full the occupied ``s x s`` tiles are, via the same
+  ``np.unique``-over-block-keys machinery the BSR constructor uses;
+- pattern symmetry and diagonal fill;
+- size/nnz/density magnitude buckets.
+
+Everything is computed from the *pattern* (rows, cols, shape) — never the
+stored values — so two matrices that differ only in values are the same
+structure class by construction.
+
+:func:`structure_signature` quantizes the features (half-octave log buckets
+for magnitudes, eighth steps for ratios) into a hashable key: matrices of
+the same structure class collide, perturbed values collide, changed
+structure separates.  The autotuner (:mod:`repro.search.autotune`) keys its
+winner cache on this signature, so the micro-benchmark cost is paid once
+per structure class rather than once per matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.formats.base import SparseFormat
+from repro.instrument import INSTR
+
+__all__ = ["StructureFeatures", "extract_features", "structure_signature",
+           "N_HIST_BUCKETS", "BLOCK_PROBE_SIZE"]
+
+#: row-length histogram buckets: counts 0, 1, 2-3, 4-7, ..., >=64 (log2)
+N_HIST_BUCKETS = 8
+
+#: tile size of the block-density probe (the smallest BSR tiling)
+BLOCK_PROBE_SIZE = 2
+
+
+class StructureFeatures:
+    """Pattern statistics of one matrix, all cheap O(nnz) aggregates.
+
+    Ratios are in [0, 1]; ``row_cv`` and ``row_max_ratio`` are unbounded
+    (0 for degenerate/empty matrices).  Instances are plain value holders;
+    :func:`structure_signature` is the canonical way to compare them."""
+
+    __slots__ = ("nrows", "ncols", "nnz", "density", "row_mean", "row_cv",
+                 "row_max_ratio", "row_hist", "bandwidth_ratio",
+                 "band_avg_ratio", "band_fill", "block_fill", "symmetry",
+                 "diag_fill")
+
+    def __init__(self, nrows: int, ncols: int, nnz: int, density: float,
+                 row_mean: float, row_cv: float, row_max_ratio: float,
+                 row_hist: Tuple[float, ...], bandwidth_ratio: float,
+                 band_avg_ratio: float, band_fill: float, block_fill: float,
+                 symmetry: float, diag_fill: float):
+        self.nrows = nrows
+        self.ncols = ncols
+        self.nnz = nnz
+        self.density = density
+        self.row_mean = row_mean
+        self.row_cv = row_cv
+        self.row_max_ratio = row_max_ratio
+        self.row_hist = tuple(row_hist)
+        self.bandwidth_ratio = bandwidth_ratio
+        self.band_avg_ratio = band_avg_ratio
+        self.band_fill = band_fill
+        self.block_fill = block_fill
+        self.symmetry = symmetry
+        self.diag_fill = diag_fill
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def quantized(self) -> Tuple:
+        """The quantized, hashable signature tuple (see module docstring).
+
+        Extreme-value statistics (max row length, max bandwidth) vary
+        across same-class samples, so the signature keys on robust
+        variants: the mean-offset bandedness ratio and an octave bucket
+        for the max-row ratio.  The raw maxima stay available as
+        features."""
+        return (
+            ("m", _qlog(self.nrows)),
+            ("n", _qlog(self.ncols)),
+            ("nnz", _qlog(self.nnz)),
+            ("density", _qlog(self.density)),
+            ("row_mean", _qlog(self.row_mean)),
+            ("row_cv", _qlog1p(self.row_cv)),
+            ("row_max", _qlog1p_coarse(self.row_max_ratio)),
+            ("hist", tuple(_qratio(f) for f in self.row_hist)),
+            ("bw", _qratio_coarse(self.band_avg_ratio)),
+            ("band_fill", _qratio(self.band_fill)),
+            ("block_fill", _qratio(self.block_fill)),
+            ("sym", _qratio(self.symmetry)),
+            ("diag", _qratio(self.diag_fill)),
+        )
+
+    def __repr__(self):
+        return (f"<StructureFeatures {self.nrows}x{self.ncols} "
+                f"nnz={self.nnz} cv={self.row_cv:.3g} "
+                f"bw={self.bandwidth_ratio:.3g} sym={self.symmetry:.3g}>")
+
+
+def _qlog(x: float) -> int:
+    """Half-octave magnitude bucket (-1 for zero/negative)."""
+    if x <= 0:
+        return -1
+    return int(round(math.log2(x) * 2.0))
+
+
+def _qlog1p(x: float) -> int:
+    """Half-octave bucket of 1+x for unbounded non-negative ratios."""
+    return int(round(math.log2(1.0 + max(0.0, x)) * 2.0))
+
+
+def _qlog1p_coarse(x: float) -> int:
+    """Full-octave bucket — for noisy extreme-value statistics."""
+    return int(round(math.log2(1.0 + max(0.0, x))))
+
+
+def _qratio(x: float) -> int:
+    """A [0, 1] ratio quantized to eighth steps (0..8)."""
+    return int(round(min(1.0, max(0.0, x)) * 8.0))
+
+
+def _qratio_coarse(x: float) -> int:
+    """Quarter steps (0..4) — the p90 bandwidth of an unbanded random
+    pattern concentrates near an eighth-step boundary (~0.68), so the
+    bandedness bucket needs the coarser grid to be seed-stable."""
+    return int(round(min(1.0, max(0.0, x)) * 4.0))
+
+
+def extract_features(matrix) -> StructureFeatures:
+    """Extract :class:`StructureFeatures` from a format instance (or a
+    dense ndarray).  One vectorized O(nnz) pass; duplicate entries in the
+    source pattern (raw COO) are deduplicated first so duplicated input
+    cannot shift the statistics."""
+    from repro.formats.coo import CooMatrix
+
+    if not isinstance(matrix, SparseFormat):
+        matrix = CooMatrix.from_dense(np.asarray(matrix))
+    with INSTR.phase("autotune.features"):
+        rows, cols, _vals = matrix.to_coo_arrays()
+        return features_from_pattern(rows, cols, matrix.shape)
+
+
+def _count_distinct(keys: np.ndarray) -> int:
+    """Distinct values in an integer array via sort + diff — notably
+    faster than hash-based ``np.unique`` at warm-path sizes."""
+    if keys.size == 0:
+        return 0
+    s = np.sort(keys)
+    return 1 + int(np.count_nonzero(s[1:] != s[:-1]))
+
+
+def features_from_pattern(rows: np.ndarray, cols: np.ndarray,
+                          shape: Tuple[int, int],
+                          assume_canonical: bool = False) -> StructureFeatures:
+    """Features from raw (possibly duplicated) COO pattern arrays.
+
+    ``assume_canonical=True`` promises the pattern is already
+    duplicate-free (the auto-mode path extracts features right after
+    ``coo_dedup_sort``) and skips the dedup pass — the dominant cost of
+    a warm cache-replay selection."""
+    m, n = int(shape[0]), int(shape[1])
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if rows.size and n > 0 and not assume_canonical:
+        # dedupe the pattern: duplicate triples describe one stored entry
+        keys = np.sort(rows * np.int64(n) + cols)
+        if keys.size > 1:
+            keep = np.empty(keys.size, dtype=bool)
+            keep[0] = True
+            np.not_equal(keys[1:], keys[:-1], out=keep[1:])
+            keys = keys[keep]
+        rows = keys // n
+        cols = keys % n
+    nnz = int(rows.size)
+    cells = m * n
+
+    if nnz == 0 or m == 0 or n == 0:
+        hist = [0.0] * N_HIST_BUCKETS
+        if m > 0:
+            hist[0] = 1.0                   # every row is empty
+        return StructureFeatures(m, n, nnz, 0.0, 0.0, 0.0, 0.0, tuple(hist),
+                                 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    density = nnz / cells
+
+    # -- row-length distribution ------------------------------------------
+    counts = np.bincount(rows, minlength=m)
+    row_mean = float(counts.mean())
+    row_std = float(counts.std())
+    row_max = float(counts.max())
+    row_cv = row_std / row_mean if row_mean > 0 else 0.0
+    row_max_ratio = row_max / row_mean if row_mean > 0 else 0.0
+    # log2 buckets: 0, 1, 2-3, 4-7, ..., >= 2^(B-2)
+    edges = 2 ** np.arange(N_HIST_BUCKETS - 1)      # 1, 2, 4, ..., 64
+    bucket = np.digitize(counts, edges)
+    hist = np.bincount(bucket, minlength=N_HIST_BUCKETS) / m
+
+    # -- bandedness -------------------------------------------------------
+    offs = np.abs(rows - cols)
+    span = max(1, max(m, n) - 1)
+    bandwidth = int(offs.max())
+    bandwidth_ratio = bandwidth / span
+    # mean |r - c| / span: the robust bandedness statistic — a mean
+    # concentrates like 1/sqrt(nnz) where the max (and even quantiles of
+    # mixture distributions) jump buckets between same-class samples
+    band_avg_ratio = float(offs.mean()) / span
+    band_area = min(cells, m * (2 * bandwidth + 1))
+    band_fill = nnz / band_area if band_area > 0 else 0.0
+
+    # -- block density (the BSR np.unique machinery at the probe size) ----
+    s = BLOCK_PROBE_SIZE
+    bcols = (n + s - 1) // s
+    bkeys = (rows // s) * np.int64(bcols) + (cols // s)
+    nblocks = _count_distinct(bkeys)
+    block_fill = nnz / (nblocks * s * s)
+
+    # -- symmetry and diagonal --------------------------------------------
+    symmetry = 0.0
+    if m == n:
+        keys = rows * np.int64(n) + cols
+        tkeys = cols * np.int64(n) + rows
+        both = np.intersect1d(keys, tkeys, assume_unique=True).size
+        symmetry = both / nnz
+    ndiag = min(m, n)
+    diag_fill = float(np.count_nonzero(rows == cols)) / ndiag if ndiag else 0.0
+
+    return StructureFeatures(m, n, nnz, density, row_mean, row_cv,
+                             row_max_ratio, tuple(float(h) for h in hist),
+                             float(bandwidth_ratio), band_avg_ratio,
+                             float(band_fill), float(block_fill),
+                             float(symmetry), float(diag_fill))
+
+
+def structure_signature(matrix_or_features) -> str:
+    """The quantized structure signature as a stable hex digest.
+
+    Accepts a format instance, a dense ndarray, or an already-extracted
+    :class:`StructureFeatures`.  Matrices of the same structure class map
+    to the same digest (see module docstring for the guarantees)."""
+    feats = matrix_or_features
+    if not isinstance(feats, StructureFeatures):
+        feats = extract_features(matrix_or_features)
+    blob = repr(feats.quantized())
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

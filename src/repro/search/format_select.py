@@ -12,8 +12,19 @@ The paper sketches two routes:
    the ``empirical`` mode: run each generated kernel on a caller-supplied
    workload and rank by measured time.
 
-Both return every candidate (formats with no legal plan are reported, not
-hidden), ranked best first.
+``mode="auto"`` combines them into structure-adaptive autotuning: rank
+every candidate analytically, micro-benchmark only the top-k
+(``REPRO_AUTOTUNE_TOPK``) on a synthetic workload, and cache the measured
+winner keyed by the matrix's quantized structure signature
+(:mod:`repro.search.features`).  A later selection over any matrix of the
+same structure class replays the cached winner — it builds and compiles
+one format instead of nine and runs zero measurements (the compile cache
+makes the one compile a lookup too).  Concurrent selections of one
+structure class tune once (:mod:`repro.search.autotune` single-flight).
+
+``model`` and ``auto`` return every candidate (formats with no legal plan
+are reported, not hidden), ranked best first; a cache-served ``auto``
+selection reports only the winner and sets ``SelectionResult.cached``.
 """
 
 from __future__ import annotations
@@ -35,18 +46,36 @@ if TYPE_CHECKING:  # pragma: no cover
 DEFAULT_CANDIDATES = ("csr", "csc", "coo", "dia", "ell", "jad", "msr",
                       "bsr", "sym")
 
+MODES = ("model", "empirical", "auto")
+
 
 class FormatChoice:
-    """One candidate's outcome."""
+    """One candidate's outcome.
 
-    __slots__ = ("format_name", "kernel", "score", "error")
+    ``score`` is the ranking key (estimated cost in ``model`` mode,
+    measured seconds in ``empirical`` and for tuned ``auto`` candidates);
+    ``model_cost`` always carries the analytical estimate when a kernel
+    exists, ``measured`` the micro-benchmark seconds when one ran, and
+    ``backend_used`` what actually executed the measurement (``"c"``,
+    ``"c+openmp"``, or ``"python"``) — so a timing taken through a
+    Python-fallback kernel is never silently compared against native
+    ones."""
+
+    __slots__ = ("format_name", "kernel", "score", "error", "model_cost",
+                 "measured", "backend_used")
 
     def __init__(self, format_name: str, kernel,
-                 score: Optional[float], error: Optional[str] = None):
+                 score: Optional[float], error: Optional[str] = None,
+                 model_cost: Optional[float] = None,
+                 measured: Optional[float] = None,
+                 backend_used: Optional[str] = None):
         self.format_name = format_name
         self.kernel = kernel
         self.score = score
         self.error = error
+        self.model_cost = model_cost
+        self.measured = measured
+        self.backend_used = backend_used
 
     @property
     def ok(self) -> bool:
@@ -57,23 +86,39 @@ class FormatChoice:
             return f"<{self.format_name}: no plan ({self.error})>"
         if self.score is None:
             return f"<{self.format_name}: ok (unscored)>"
-        return f"<{self.format_name}: score={self.score:.4g}>"
+        tail = f" [{self.backend_used}]" if self.backend_used else ""
+        return f"<{self.format_name}: score={self.score:.4g}{tail}>"
 
 
 class SelectionResult:
     """Ranked outcomes; ``best`` is the winning (format name, instance,
-    kernel) triple."""
+    kernel) triple.
+
+    ``auto``-mode extras: ``signature`` is the structure signature the
+    winner cache was keyed on, and ``cached`` is True when the selection
+    was served from the winner cache (zero micro-benchmark runs)."""
 
     def __init__(self, choices: List[FormatChoice],
                  instances: Dict[str, SparseFormat], mode: str):
         ok = [c for c in choices if c.ok]
         failed = [c for c in choices if not c.ok]
-        # unscored-but-legal choices rank after every scored one (a None
-        # score must not TypeError the sort)
-        ok.sort(key=lambda c: (c.score is None, c.score or 0.0))
+        # ranking tiers: scored choices first (measured seconds or model
+        # cost, per mode), then model-estimated-only (auto's untuned
+        # candidates), then unscored-but-legal; a None score must not
+        # TypeError the sort
+        def tier(c: FormatChoice) -> Tuple:
+            if c.score is not None:
+                return (0, c.score)
+            if c.model_cost is not None:
+                return (1, c.model_cost)
+            return (2, 0.0)
+
+        ok.sort(key=tier)
         self.choices = ok + failed
         self.instances = instances
         self.mode = mode
+        self.signature: Optional[str] = None
+        self.cached = False
         if not ok:
             raise PlanError("no candidate format admits a legal plan")
 
@@ -83,17 +128,137 @@ class SelectionResult:
         return c.format_name, self.instances[c.format_name], c.kernel
 
     def table(self) -> str:
-        lines = [f"format selection ({self.mode}):"]
-        unit = "estimated cost" if self.mode == "model" else "seconds"
+        header = f"format selection ({self.mode}"
+        if self.cached:
+            header += ", cached winner"
+        lines = [header + "):"]
+        # the unit is per-mode, not "model or seconds": auto rows mix
+        # measured seconds (tuned) with estimated cost (untuned)
+        unit = {"model": "estimated cost",
+                "empirical": "seconds",
+                "auto": "seconds"}.get(self.mode, "score")
         for c in self.choices:
-            if c.ok and c.score is not None:
-                lines.append(f"  {c.format_name:6s} {c.score:14.4g}  ({unit})")
-            elif c.ok:
-                lines.append(f"  {c.format_name:6s} {'unscored':>14s}")
-            else:
+            if not c.ok:
                 lines.append(f"  {c.format_name:6s} {'no legal plan':>14s}")
+            elif c.score is not None:
+                tag = unit
+                if c.backend_used and self.mode != "model":
+                    tag += f", {c.backend_used}"
+                lines.append(f"  {c.format_name:6s} {c.score:14.4g}  ({tag})")
+            elif self.mode == "auto" and c.model_cost is not None:
+                lines.append(f"  {c.format_name:6s} {c.model_cost:14.4g}  "
+                             f"(estimated cost, not tuned)")
+            else:
+                lines.append(f"  {c.format_name:6s} {'unscored':>14s}")
         return "\n".join(lines)
 
+
+# ---------------------------------------------------------------------------
+# Candidate construction
+# ---------------------------------------------------------------------------
+
+def _build_instance(name: str, matrix: SparseFormat, rows, cols, vals,
+                    bounds, convert_kwargs) -> SparseFormat:
+    """One candidate instance from the shared canonical COO triples
+    (raises ValueError/KeyError when the format does not admit the
+    matrix)."""
+    cls = FORMATS.get(name)
+    if cls is None:
+        raise KeyError(name)
+    if cls is type(matrix) and (name != "bsr" or not convert_kwargs):
+        return matrix  # same short-circuit convert() applies
+    kw = convert_kwargs if name == "bsr" else {}
+    inst = cls._from_canonical_coo(rows, cols, vals, matrix.shape, **kw)
+    if bounds is not None:
+        inst.annotate_bounds(bounds)
+    return inst
+
+
+def _synthetic_workload(program: Program, array_name: str,
+                        inst: SparseFormat) -> Tuple[Dict, Dict]:
+    """A deterministic matvec-shaped workload for auto-mode measurement:
+    every vector array gets random data long enough for any loop extent,
+    scalars get zero, and parameter values are inferred from the bound
+    instance."""
+    import numpy as np
+
+    from repro.core.compiler import infer_param_values
+
+    params = {k: int(v) for k, v in
+              infer_param_values(program, {array_name: inst}).items()}
+    size = max([inst.nrows, inst.ncols, 1] + list(params.values()))
+    rng = np.random.default_rng(0)
+    arrays: Dict[str, object] = {array_name: inst}
+    for name, decl in program.arrays.items():
+        if name == array_name:
+            continue
+        if decl.kind == "vector":
+            arrays[name] = rng.random(size)
+        elif decl.kind == "scalar":
+            arrays[name] = np.zeros(())
+    return arrays, params
+
+
+def _measure_choice(choice: FormatChoice, program: Program, array_name: str,
+                    inst: SparseFormat,
+                    workload: Optional[Callable], repeats: int) -> None:
+    """Micro-benchmark one compiled candidate and record the measured
+    seconds plus the backend that actually executed (kernel ``__call__``
+    dispatches native when available and falls back observably)."""
+    kernel = choice.kernel
+    if workload is not None:
+        arrays, params = workload(inst)
+    else:
+        arrays, params = _synthetic_workload(program, array_name, inst)
+    # materialize the execution path (native bind / lazy codegen) OUTSIDE
+    # the timed region, so the first sample measures the kernel, not the
+    # code generator
+    if kernel.native() is None:
+        kernel.callable()
+    with INSTR.phase("autotune.measure"):
+        secs = best_of(lambda: kernel(dict(arrays), dict(params)),
+                       repeats=repeats)
+    INSTR.count("autotune.microbench.runs")
+    choice.measured = float(secs)
+    choice.score = float(secs)
+    choice.backend_used = kernel.backend_used
+
+
+def _rank_candidates(program, array_name, matrix, candidates, rows, cols,
+                     vals, bounds, backend, convert_kwargs):
+    """Build every candidate instance, compile its kernel, and score it by
+    the Figure 11 model — the shared front half of every mode."""
+    from repro.core.compiler import compile_kernel
+
+    choices: List[FormatChoice] = []
+    instances: Dict[str, SparseFormat] = {}
+    for name in candidates:
+        INSTR.count("select.candidates")
+        try:
+            inst = _build_instance(name, matrix, rows, cols, vals, bounds,
+                                   convert_kwargs)
+        except (ValueError, KeyError) as e:
+            # the format does not admit this matrix at all (BSR needs
+            # divisible dimensions, SYM a square symmetric matrix, ...):
+            # report a skip-with-reason choice rather than crashing
+            choices.append(FormatChoice(name, None, None,
+                                        f"inapplicable: {e}"))
+            continue
+        instances[name] = inst
+        try:
+            kernel = compile_kernel(program, {array_name: inst},
+                                    backend=backend)
+        except PlanError as e:
+            choices.append(FormatChoice(name, None, None, str(e)))
+            continue
+        choices.append(FormatChoice(name, kernel, float(kernel.cost),
+                                    model_cost=float(kernel.cost)))
+    return choices, instances
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
 
 def select_format(
     program: Program,
@@ -102,7 +267,10 @@ def select_format(
     candidates: Sequence[str] = DEFAULT_CANDIDATES,
     mode: str = "model",
     workload: Optional[Callable[[SparseFormat], Tuple[Mapping, Mapping]]] = None,
-    repeats: int = 3,
+    repeats: Optional[int] = None,
+    backend: str = "python",
+    topk: Optional[int] = None,
+    autotune_cache: Optional[str] = None,
     **convert_kwargs,
 ) -> SelectionResult:
     """Choose the best storage format for ``matrix`` under ``program``.
@@ -110,16 +278,24 @@ def select_format(
     ``matrix`` is any format instance (or convertible input); each
     candidate format gets the converted matrix, a compiled kernel, and a
     score.  ``mode="model"`` scores by the compiler's cost estimate;
-    ``mode="empirical"`` requires ``workload(fmt) -> (arrays, params)`` and
-    scores by the best-of-``repeats`` measured time of the generated
-    kernel.
+    ``mode="empirical"`` requires ``workload(fmt) -> (arrays, params)``
+    and scores by the best-of-``repeats`` measured time of the generated
+    kernel; ``mode="auto"`` micro-benchmarks the analytically top-``topk``
+    candidates on a synthetic workload (or ``workload`` when given) and
+    serves repeats of the same structure class from the winner cache.
+
+    ``backend`` is forwarded to the compiler; measurements execute
+    through the kernel's real dispatch, and each choice records
+    ``backend_used`` so a Python-fallback timing is never silently
+    compared against native ones.  ``repeats`` defaults to
+    ``REPRO_AUTOTUNE_REPEATS`` in auto mode and 3 otherwise;
+    ``autotune_cache`` (``"off"`` / ``"memory"`` / ``"disk"``) defaults to
+    ``REPRO_AUTOTUNE_CACHE``.
     """
-    if mode not in ("model", "empirical"):
-        raise ValueError(f"mode must be 'model' or 'empirical', got {mode!r}")
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     if mode == "empirical" and workload is None:
         raise ValueError("empirical mode requires a workload callable")
-
-    from repro.core.compiler import compile_kernel
 
     from repro.formats.coo import CooMatrix
 
@@ -136,41 +312,110 @@ def select_format(
                                           order="row")
     bounds = matrix.bounds()
 
-    choices: List[FormatChoice] = []
-    instances: Dict[str, SparseFormat] = {}
-    for name in candidates:
-        INSTR.count("select.candidates")
-        cls = FORMATS.get(name)
-        try:
-            if cls is None:
-                raise KeyError(name)
-            if cls is type(matrix) and (name != "bsr" or not convert_kwargs):
-                inst = matrix  # same short-circuit convert() applies
-            else:
-                kw = convert_kwargs if name == "bsr" else {}
-                inst = cls._from_canonical_coo(rows, cols, vals,
-                                               matrix.shape, **kw)
-                if bounds is not None:
-                    inst.annotate_bounds(bounds)
-        except (ValueError, KeyError) as e:
-            # the format does not admit this matrix at all (BSR needs
-            # divisible dimensions, SYM a square symmetric matrix, ...):
-            # report a skip-with-reason choice rather than crashing
-            choices.append(FormatChoice(name, None, None,
-                                        f"inapplicable: {e}"))
-            continue
-        instances[name] = inst
-        try:
-            kernel = compile_kernel(program, {array_name: inst})
-        except PlanError as e:
-            choices.append(FormatChoice(name, None, None, str(e)))
-            continue
-        if mode == "model":
-            score = kernel.cost
-        else:
-            arrays, params = workload(inst)
-            fn = kernel.callable()
-            score = best_of(lambda: fn(dict(arrays), dict(params)),
-                            repeats=repeats)
-        choices.append(FormatChoice(name, kernel, float(score)))
+    if mode == "auto":
+        return _select_auto(program, array_name, matrix, candidates,
+                            workload, repeats, backend, topk, autotune_cache,
+                            rows, cols, vals, bounds, convert_kwargs)
+
+    choices, instances = _rank_candidates(program, array_name, matrix,
+                                          candidates, rows, cols, vals,
+                                          bounds, backend, convert_kwargs)
+    if mode == "empirical":
+        reps = 3 if repeats is None else repeats
+        for c in choices:
+            if c.ok:
+                _measure_choice(c, program, array_name,
+                                instances[c.format_name], workload, reps)
     return SelectionResult(choices, instances, mode)
+
+
+# ---------------------------------------------------------------------------
+# Auto mode
+# ---------------------------------------------------------------------------
+
+def _select_auto(program, array_name, matrix, candidates, workload, repeats,
+                 backend, topk, autotune_cache, rows, cols, vals, bounds,
+                 convert_kwargs) -> SelectionResult:
+    from repro.search import autotune as at
+    from repro.search.features import features_from_pattern, structure_signature
+
+    cache_mode = at.resolve_autotune_cache(autotune_cache)
+    k = at.autotune_topk() if topk is None else max(1, int(topk))
+    reps = at.autotune_repeats() if repeats is None else repeats
+
+    INSTR.count("select.auto")
+    with INSTR.phase("autotune.features"):
+        # rows/cols went through coo_dedup_sort in select_format, so the
+        # dedup pass inside feature extraction can be skipped
+        signature = structure_signature(
+            features_from_pattern(rows, cols, matrix.shape,
+                                  assume_canonical=True))
+    key = at.winner_key(program, signature, candidates, backend, k)
+
+    def tune() -> Tuple[Dict, SelectionResult]:
+        choices, instances = _rank_candidates(program, array_name, matrix,
+                                              candidates, rows, cols, vals,
+                                              bounds, backend, convert_kwargs)
+        ranked_ok = sorted((c for c in choices if c.ok),
+                           key=lambda c: c.model_cost)
+        for c in ranked_ok[:k]:
+            _measure_choice(c, program, array_name,
+                            instances[c.format_name], workload, reps)
+        for c in ranked_ok[k:]:
+            c.score = None              # untuned: ranked by model_cost tier
+        result = SelectionResult(choices, instances, "auto")
+        best = result.choices[0]
+        record = {
+            "format": best.format_name,
+            "backend_used": best.backend_used,
+            "measured": {c.format_name: c.measured for c in result.choices
+                         if c.measured is not None},
+            "signature": signature,
+            "topk": k,
+            "repeats": reps,
+        }
+        return record, result
+
+    record, payload, origin = at.winner_for(key, cache_mode, tune)
+    if payload is not None:                       # we were the tuning leader
+        payload.signature = signature
+        return payload
+
+    # warm path: the cached winner — build and compile ONLY that format
+    try:
+        result = _replay_winner(program, array_name, matrix, record, rows,
+                                cols, vals, bounds, backend, convert_kwargs)
+    except (PlanError, ValueError, KeyError) as e:
+        # the cached winner does not admit this particular matrix (e.g. a
+        # BSR divisibility change within the same signature bucket): tune
+        # fresh and overwrite the stale record
+        INSTR.count("autotune.replay_failures")
+        record, result = tune()
+        INSTR.count("autotune.tunes")
+        at.store(key, record, cache_mode)
+        result.signature = signature
+        return result
+    INSTR.count("autotune.replays")
+    result.signature = signature
+    result.cached = True
+    return result
+
+
+def _replay_winner(program, array_name, matrix, record, rows, cols, vals,
+                   bounds, backend, convert_kwargs) -> SelectionResult:
+    """Serve a cached winner: one instance build, one (cached) compile,
+    zero measurements."""
+    from repro.core.compiler import compile_kernel
+
+    name = record["format"]
+    inst = _build_instance(name, matrix, rows, cols, vals, bounds,
+                           convert_kwargs)
+    kernel = compile_kernel(program, {array_name: inst}, backend=backend)
+    measured = (record.get("measured") or {}).get(name)
+    choice = FormatChoice(name, kernel,
+                          float(measured) if measured is not None
+                          else float(kernel.cost),
+                          model_cost=float(kernel.cost),
+                          measured=measured,
+                          backend_used=record.get("backend_used"))
+    return SelectionResult([choice], {name: inst}, "auto")

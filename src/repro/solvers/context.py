@@ -31,7 +31,7 @@ Instrumentation (namespace ``solver.*``):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -166,9 +166,17 @@ class SolverContext:
         generated Python directly.
     select:
         When true, run automatic format selection for the matvec program
-        first and bind the winning format instead of ``A``'s own.
+        first and bind the winning format instead of ``A``'s own.  A
+        string selects the mode directly: ``select="auto"`` rides the
+        structure-adaptive autotuner, so repeated contexts over matrices
+        of the same structure class skip tuning entirely (the winner
+        cache serves them); ``select="model"`` / ``select="empirical"``
+        pick the analytical / measured routes.
     candidates / select_mode / workload:
         Forwarded to :func:`repro.search.format_select.select_format`.
+        For the ``auto`` and ``empirical`` modes the context's execution
+        backend is forwarded too, so the measurements time the same
+        dispatch the solver will use.
     register:
         When true (default), publish the bound kernels as per-instance
         handles so the plain functional API (:func:`repro.blas.api.mvm`
@@ -177,7 +185,8 @@ class SolverContext:
 
     def __init__(self, A, ops: Sequence[str] = ("mvm",), *,
                  backend: str = "c", parallel: str = "none",
-                 select: bool = False, candidates: Optional[Sequence[str]] = None,
+                 select: Union[bool, str] = False,
+                 candidates: Optional[Sequence[str]] = None,
                  select_mode: str = "model",
                  workload: Optional[Callable] = None,
                  cache: Optional[str] = None,
@@ -187,6 +196,9 @@ class SolverContext:
         for op in ops:
             if op not in _OP_SPECS:
                 raise ValueError(f"unknown op {op!r}; choose from {ALL_OPS}")
+        if isinstance(select, str):
+            # select="auto" / "model" / "empirical" names the mode directly
+            select_mode, select = select, True
         if not isinstance(A, SparseFormat):
             A = CsrMatrix.from_dense(np.asarray(A))
         self.ops = ops
@@ -220,6 +232,9 @@ class SolverContext:
         from repro.search.format_select import select_format
 
         kwargs = {"mode": select_mode}
+        if select_mode in ("auto", "empirical"):
+            # measure through the dispatch the solver will actually use
+            kwargs["backend"] = self.backend
         if candidates is not None:
             kwargs["candidates"] = candidates
         if workload is not None:
