@@ -1,0 +1,156 @@
+"""SpMM benchmark: one blocked multiply vs k independent matvecs.
+
+The multi-RHS question: given k right-hand sides, is one SpMM through the
+bound kernel (``ctx.matmat``) faster than looping k matvecs through the
+same context?  The SpMM traverses the matrix structure once for all k
+columns and streams the dense panel rows contiguously; the matvec loop
+re-reads the index arrays k times and pays k dispatches.  Both paths run
+the same bound-kernel machinery, so the ratio isolates the blocking win.
+
+Results append to ``BENCH_spmm.json`` at the repo root via the shared
+:func:`benchmarks.conftest.record_bench` appender.
+
+Usage::
+
+    python benchmarks/bench_spmm.py --n 10000
+    python benchmarks/bench_spmm.py --n 2500 --check
+
+``--check`` (the CI smoke mode) exits non-zero unless native SpMM beats
+the k-matvec loop by the floor at the reference width k=16 (2x at
+n >= 10000; at smoke sizes merely no slower) and the JSON file is a
+well-formed list of records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+for p in (_ROOT, os.path.join(_ROOT, "src")):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import numpy as np  # noqa: E402
+
+from benchmarks.conftest import record_bench  # noqa: E402
+from repro.blas import dense_ref  # noqa: E402
+from repro.formats import as_format  # noqa: E402
+from repro.formats.generate import laplacian_2d  # noqa: E402
+from repro.solvers import SolverContext  # noqa: E402
+
+BENCH_FILE = "BENCH_spmm.json"
+WIDTHS = (1, 4, 16, 64)
+CHECK_WIDTH = 16
+
+
+def _best_of(fn, repeats):
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run(n, backend, fmt, repeats):
+    """Returns {k: (t_spmm, t_matvec_loop)} plus the context backends."""
+    side = max(2, int(round(math.sqrt(n))))
+    m = laplacian_2d(side)
+    n_actual = m.nrows
+    nnz = m.nnz
+    ctx = SolverContext(as_format(m, fmt), ops=("mvm", "spmm"),
+                        backend=backend)
+    rng = np.random.default_rng(1072)
+    dense = m.to_dense() if n_actual <= 4000 else None
+
+    results = {}
+    for k in WIDTHS:
+        X = rng.random((n_actual, k))
+        Y = np.zeros((n_actual, k))
+        col = np.zeros(n_actual)
+
+        def spmm_once():
+            ctx.matmat(X, Y)
+
+        def matvec_loop():
+            for j in range(k):
+                Y[:, j] = ctx.matvec(X[:, j].copy(), col)
+
+        spmm_once()
+        if dense is not None and not np.allclose(Y, dense_ref.mm(dense, X)):
+            raise AssertionError(f"k={k}: SpMM diverged from the oracle")
+        matvec_loop()
+        if dense is not None and not np.allclose(Y, dense_ref.mm(dense, X)):
+            raise AssertionError(f"k={k}: matvec loop diverged from the oracle")
+
+        t_mm = _best_of(spmm_once, repeats)
+        t_mv = _best_of(matvec_loop, repeats)
+        results[k] = (t_mm, t_mv)
+        flops = dense_ref.flops_mm(nnz, k)
+        record_bench(BENCH_FILE, f"spmm/{fmt}/k{k}/spmm", t_mm, flops=flops,
+                     n=n_actual, k=k, nnz=nnz,
+                     backend=ctx.backends["spmm"])
+        record_bench(BENCH_FILE, f"spmm/{fmt}/k{k}/matvec-loop", t_mv,
+                     flops=flops, n=n_actual, k=k, nnz=nnz,
+                     backend=ctx.backends["mvm"],
+                     speedup=t_mv / t_mm if t_mm > 0 else float("inf"))
+        print(f"  k={k:3d}  spmm {t_mm * 1e3:9.3f} ms   "
+              f"{k}x matvec {t_mv * 1e3:9.3f} ms   "
+              f"speedup {t_mv / t_mm:6.2f}x   "
+              f"[{ctx.backends['spmm']}]")
+    return results, ctx.backends
+
+
+def check_json():
+    path = os.path.join(_ROOT, BENCH_FILE)
+    with open(path) as f:
+        entries = json.load(f)
+    assert isinstance(entries, list) and entries, "empty trajectory"
+    for e in entries:
+        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
+    return len(entries)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--n", type=int, default=10000,
+                    help="target matrix dimension (rounded to a square)")
+    ap.add_argument("--backend", default="c", choices=("c", "python"))
+    ap.add_argument("--fmt", default="csr")
+    ap.add_argument("--repeats", type=int, default=5,
+                    help="best-of repeats per timing")
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: fail unless SpMM clears its floor vs "
+                         "the matvec loop at k=16")
+    args = ap.parse_args(argv)
+
+    print(f"spmm benchmark: n~{args.n}, k in {WIDTHS}, "
+          f"backend={args.backend}, fmt={args.fmt}")
+    results, backends = run(args.n, args.backend, args.fmt, args.repeats)
+    n_entries = check_json()
+    print(f"  {BENCH_FILE}: {n_entries} records")
+
+    if args.check:
+        t_mm, t_mv = results[CHECK_WIDTH]
+        speedup = t_mv / t_mm if t_mm > 0 else float("inf")
+        # the 2x claim is a native large-operand property; tiny smoke
+        # operands only assert the blocked path is no slower
+        floor = 2.0 if (args.n >= 10000 and backends["spmm"] != "python") \
+            else 1.0
+        if speedup < floor:
+            print(f"FAIL: spmm speedup {speedup:.2f}x at k={CHECK_WIDTH} "
+                  f"below the {floor:.1f}x floor", file=sys.stderr)
+            return 1
+        print(f"check ok: spmm {speedup:.2f}x vs {CHECK_WIDTH} matvecs "
+              f"(floor {floor:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,12 @@
 - :mod:`repro.blas.api` — uniform dispatch used by the solvers.
 """
 
-from repro.blas.api import mvm, mvm_t, ts_lower_solve, ts_upper_solve
+from repro.blas.api import mm, mm_t, mvm, mvm_t, ts_lower_solve, ts_upper_solve
 from repro.blas import specialized, generic_, dense_ref
 
 __all__ = [
+    "mm",
+    "mm_t",
     "mvm",
     "mvm_t",
     "ts_lower_solve",

@@ -33,8 +33,8 @@ _HANDLE_ATTR = "_kernel_handles"
 def register_kernel_handle(A: SparseFormat, op: str, fn: Callable) -> None:
     """Publish a bound kernel entry point for one operation of one matrix
     instance.  ``fn`` has signature ``fn(x, y) -> y`` for ``mvm`` /
-    ``mvm_t`` and ``fn(b) -> b`` (in-place) for ``ts_lower`` /
-    ``ts_upper``."""
+    ``mvm_t``, ``fn(X, Y) -> Y`` (2-D panels) for ``spmm`` / ``spmm_t``,
+    and ``fn(b) -> b`` (in-place) for ``ts_lower`` / ``ts_upper``."""
     handles = getattr(A, _HANDLE_ATTR, None)
     if handles is None:
         handles = {}
@@ -56,11 +56,16 @@ def clear_kernel_handles(A: SparseFormat) -> None:
         delattr(A, _HANDLE_ATTR)
 
 
+def _alloc2(shape, A: SparseFormat, x: np.ndarray) -> np.ndarray:
+    """A fresh output array of any shape in the promoted dtype of the
+    operands — ``np.zeros(shape)`` alone would silently force float64 onto
+    float32/int workloads (and break native-backend byte parity)."""
+    return np.zeros(shape, dtype=np.result_type(A.dtype, x.dtype))
+
+
 def _alloc(n: int, A: SparseFormat, x: np.ndarray) -> np.ndarray:
-    """A fresh output vector in the promoted dtype of the operands —
-    ``np.zeros(n)`` alone would silently force float64 onto float32/int
-    workloads (and break native-backend byte parity)."""
-    return np.zeros(n, dtype=np.result_type(A.dtype, x.dtype))
+    """1-D special case of :func:`_alloc2` (the matvec/solve outputs)."""
+    return _alloc2(n, A, x)
 
 
 def mvm(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
@@ -72,6 +77,28 @@ def mvm(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.nd
         INSTR.count("blas.handle.hits")
         return h(x, y)
     return dispatch_mvm(A, x, y)
+
+
+def mm(A: SparseFormat, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Y = A X with ``X`` a dense ``n × k`` panel (SpMM)."""
+    if Y is None:
+        Y = _alloc2((A.nrows, X.shape[1]), A, X)
+    h = kernel_handle(A, "spmm")
+    if h is not None:
+        INSTR.count("blas.handle.hits")
+        return h(X, Y)
+    return dispatch_mm(A, X, Y)
+
+
+def mm_t(A: SparseFormat, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+    """Y = A^T X with ``X`` a dense ``m × k`` panel."""
+    if Y is None:
+        Y = _alloc2((A.ncols, X.shape[1]), A, X)
+    h = kernel_handle(A, "spmm_t")
+    if h is not None:
+        INSTR.count("blas.handle.hits")
+        return h(X, Y)
+    return dispatch_mm_t(A, X, Y)
 
 
 def mvm_t(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
@@ -122,6 +149,20 @@ def dispatch_mvm_t(A: SparseFormat, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     if fn is not None:
         return fn(A, x, y)
     return generic_.mvm_t(A, x, y)
+
+
+def dispatch_mm(A: SparseFormat, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    fn = specialized.MM.get(A.format_name)
+    if fn is not None:
+        return fn(A, X, Y)
+    return generic_.mm(A, X, Y)
+
+
+def dispatch_mm_t(A: SparseFormat, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    fn = specialized.MM_T.get(A.format_name)
+    if fn is not None:
+        return fn(A, X, Y)
+    return generic_.mm_t(A, X, Y)
 
 
 def dispatch_ts_lower(L: SparseFormat, b: np.ndarray) -> np.ndarray:

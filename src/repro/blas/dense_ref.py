@@ -13,6 +13,14 @@ def mvm_t(A: np.ndarray, x: np.ndarray) -> np.ndarray:
     return A.T @ x
 
 
+def mm(A: np.ndarray, X: np.ndarray) -> np.ndarray:
+    return A @ X
+
+
+def mm_t(A: np.ndarray, X: np.ndarray) -> np.ndarray:
+    return A.T @ X
+
+
 def ts_lower(L: np.ndarray, b: np.ndarray) -> np.ndarray:
     import scipy.linalg as sla
 
@@ -28,6 +36,11 @@ def ts_upper(U: np.ndarray, b: np.ndarray) -> np.ndarray:
 def flops_mvm(nnz: int) -> int:
     """Multiply + add per stored entry."""
     return 2 * nnz
+
+
+def flops_mm(nnz: int, k: int) -> int:
+    """Multiply + add per stored entry per right-hand-side column."""
+    return 2 * nnz * k
 
 
 def flops_ts(nnz: int, n: int) -> int:

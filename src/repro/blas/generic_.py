@@ -56,6 +56,23 @@ def mvm_t(A: SparseFormat, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return y
 
 
+def mm(A: SparseFormat, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Y = A X with X a dense n×k panel, through abstract enumeration —
+    one panel-row axpy per stored entry."""
+    Y[...] = 0.0
+    for r, c, v in iter_nonzeros(A):
+        Y[r] += v * X[c]
+    return Y
+
+
+def mm_t(A: SparseFormat, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Y = A^T X through abstract enumeration."""
+    Y[...] = 0.0
+    for r, c, v in iter_nonzeros(A):
+        Y[c] += v * X[r]
+    return Y
+
+
 def ts_lower(L: SparseFormat, b: np.ndarray) -> np.ndarray:
     """Forward substitution through random access: one code for every
     format, each element located with ``get`` (the generality/performance

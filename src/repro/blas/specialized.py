@@ -169,6 +169,49 @@ def mvm_t_csc(A: CscMatrix, x: np.ndarray, y: np.ndarray) -> np.ndarray:
 
 
 # ---------------------------------------------------------------------------
+# SpMM: Y = A X (X a dense n×k panel) — the per-entry inner loop becomes a
+# panel-row axpy
+# ---------------------------------------------------------------------------
+
+def mm_csr(A: CsrMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    rowptr, colind, values = A.rowptr, A.colind, A.values
+    for r in range(A.nrows):
+        Y[r] = 0.0
+        for jj in range(rowptr[r], rowptr[r + 1]):
+            Y[r] += values[jj] * X[colind[jj]]
+    return Y
+
+
+def mm_csc(A: CscMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    colptr, rowind, values = A.colptr, A.rowind, A.values
+    Y[...] = 0.0
+    for c in range(A.ncols):
+        xc = X[c]
+        for jj in range(colptr[c], colptr[c + 1]):
+            Y[rowind[jj]] += values[jj] * xc
+    return Y
+
+
+def mm_t_csr(A: CsrMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    rowptr, colind, values = A.rowptr, A.colind, A.values
+    Y[...] = 0.0
+    for r in range(A.nrows):
+        xr = X[r]
+        for jj in range(rowptr[r], rowptr[r + 1]):
+            Y[colind[jj]] += values[jj] * xr
+    return Y
+
+
+def mm_t_csc(A: CscMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    colptr, rowind, values = A.colptr, A.rowind, A.values
+    for c in range(A.ncols):
+        Y[c] = 0.0
+        for jj in range(colptr[c], colptr[c + 1]):
+            Y[c] += values[jj] * X[rowind[jj]]
+    return Y
+
+
+# ---------------------------------------------------------------------------
 # Triangular solve: b := L^{-1} b (lower) / b := U^{-1} b (upper)
 # ---------------------------------------------------------------------------
 
@@ -305,6 +348,16 @@ MVM = {
 MVM_T = {
     "csr": mvm_t_csr,
     "csc": mvm_t_csc,
+}
+
+MM = {
+    "csr": mm_csr,
+    "csc": mm_csc,
+}
+
+MM_T = {
+    "csr": mm_t_csr,
+    "csc": mm_t_csc,
 }
 
 TS_LOWER = {

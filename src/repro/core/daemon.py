@@ -129,6 +129,10 @@ class _LruDict:
         with self._lock:
             return len(self._d)
 
+    def values(self) -> List:
+        with self._lock:
+            return list(self._d.values())
+
 
 class CompileServer:
     """Threaded compilation daemon (see module docstring).
@@ -524,6 +528,20 @@ class CompileServer:
         ])
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    @staticmethod
+    def _op_family(program_name: str) -> str:
+        """Coarse per-op bucket for handle accounting: which workload
+        family a cached kernel serves (``describe``/``stats`` report these
+        so service benchmarks can confirm SpMM requests ride the same
+        handle-addressed LRU as matvec and solve)."""
+        if program_name.startswith("spmm"):
+            return "spmm"
+        if "mvm" in program_name:
+            return "mvm"
+        if program_name.startswith("ts"):
+            return "ts"
+        return "other"
+
     def _compile_batch(self, sources: List[str], bindings: Dict,
                        params: Dict[str, int], options: Dict,
                        item_keys: List[str]) -> List[Dict]:
@@ -557,6 +575,7 @@ class CompileServer:
                     "ok": True,
                     "handle": item_keys[i],
                     "program": k.program.name,
+                    "op": self._op_family(k.program.name),
                     "backend": k.backend,
                     "backend_used": k.backend_used,
                     "fallback_reason": k.fallback_reason,
@@ -622,6 +641,11 @@ class CompileServer:
             admitted = self._admitted
         with self._active_cv:
             active = self._active
+        by_op: Dict[str, int] = {}
+        for rec in self._handles.values():
+            if isinstance(rec, dict) and rec.get("ok"):
+                fam = rec.get("op", "other")
+                by_op[fam] = by_op.get(fam, 0) + 1
         return {
             "uptime_seconds": time.monotonic() - self._t0,
             "pid": os.getpid(),
@@ -632,6 +656,7 @@ class CompileServer:
             "active_requests": active,
             "draining": self._draining.is_set(),
             "handles": len(self._handles),
+            "kernels_by_op": by_op,
             "payloads": len(self._payloads),
             "latency": lat,
             "autotune": autotune,

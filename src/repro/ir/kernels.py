@@ -229,19 +229,44 @@ def add_mvm() -> Program:
 
 
 def spmm() -> Program:
-    """Sparse-times-dense matrix multiplication ``C = A B`` (C dense)."""
+    """Sparse-times-dense-block multiplication ``Y = A X`` with ``X`` an
+    ``n × k`` dense panel and ``Y`` ``m × k`` (the multi-RHS workhorse).
+    ``X`` and ``Y`` are declared ``dmat`` — 2-D but never sparse-binding
+    candidates — and the imperfect nest keeps the per-row init inside the
+    ``i`` loop so each row of ``Y`` accumulates in the same entry order as
+    the matvec kernel (one column of the panel reproduces ``mvm``
+    bitwise)."""
     return parse_program(
         """
-        spmm(m, n, p; A: matrix, B: matrix, C: matrix) {
+        spmm(m, n, k; A: matrix, X: dmat, Y: dmat) {
             for i = 0 : m {
-                for j = 0 : p {
-                    C[i][j] = 0;
+                for p = 0 : k {
+                    Y[i][p] = 0;
+                }
+                for j = 0 : n {
+                    for p2 = 0 : k {
+                        Y[i][p2] = Y[i][p2] + A[i][j] * X[j][p2];
+                    }
                 }
             }
-            for i2 = 0 : m {
-                for k = 0 : n {
-                    for j2 = 0 : p {
-                        C[i2][j2] = C[i2][j2] + A[i2][k] * B[k][j2];
+        }
+        """
+    )
+
+
+def spmm_t() -> Program:
+    """Transposed SpMM ``Y = A^T X`` (``X`` is ``m × k``, ``Y`` ``n × k``);
+    column-of-panel order mirrors ``mvm_t``."""
+    return parse_program(
+        """
+        spmm_t(m, n, k; A: matrix, X: dmat, Y: dmat) {
+            for j = 0 : n {
+                for p = 0 : k {
+                    Y[j][p] = 0;
+                }
+                for i = 0 : m {
+                    for p2 = 0 : k {
+                        Y[j][p2] = Y[j][p2] + A[i][j] * X[i][p2];
                     }
                 }
             }
@@ -265,4 +290,5 @@ ALL_KERNELS = {
     "diag_extract": diag_extract,
     "add_mvm": add_mvm,
     "spmm": spmm,
+    "spmm_t": spmm_t,
 }

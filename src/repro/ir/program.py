@@ -19,13 +19,17 @@ from repro.polyhedra.system import Constraint, System, GE
 class ArrayDecl:
     """Declaration of an array: number of dimensions and a role tag.
 
-    ``kind`` is "matrix" (2-D), "vector" (1-D) or "scalar" (0-D); the sparse
-    compiler only ever treats matrices as candidates for sparse storage.
+    ``kind`` is "matrix" (2-D), "dmat" (2-D, always dense), "vector" (1-D)
+    or "scalar" (0-D); the sparse compiler only ever treats matrices as
+    candidates for sparse storage.  A ``dmat`` is indexed like a matrix but
+    is never a sparse-binding candidate — the dense block operands of SpMM
+    (``Y = A X`` with ``X``, ``Y`` dense ``n×k`` panels) are the canonical
+    use.
     """
 
     __slots__ = ("name", "ndim", "kind")
 
-    KINDS = {"matrix": 2, "vector": 1, "scalar": 0}
+    KINDS = {"matrix": 2, "dmat": 2, "vector": 1, "scalar": 0}
 
     def __init__(self, name: str, kind: str):
         if kind not in self.KINDS:

@@ -29,7 +29,7 @@ selection reports only the winner and sets ``SelectionResult.cached``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from typing import TYPE_CHECKING
 
@@ -174,18 +174,41 @@ def _build_instance(name: str, matrix: SparseFormat, rows, cols, vals,
     return inst
 
 
+#: panel width used for dense-panel (``dmat``) operands and for program
+#: parameters no binding can pin (SpMM's ``k``) in synthetic workloads
+_DEFAULT_PANEL_WIDTH = 8
+
+
+def _workload_program(name: str) -> Program:
+    """Resolve a workload-family name to its measurement kernel — the
+    string form of the workload axis (``workload="spmm"`` ranks the
+    candidates under SpMM micro-benchmarks instead of matvec)."""
+    from repro.ir import kernels as _kernels
+
+    factories = {"matvec": _kernels.mvm, "mvm": _kernels.mvm,
+                 "spmm": _kernels.spmm, "spmm_t": _kernels.spmm_t}
+    factory = factories.get(name)
+    if factory is None:
+        raise ValueError(f"unknown workload {name!r}; choose from "
+                         f"{tuple(sorted(factories))}")
+    return factory()
+
+
 def _synthetic_workload(program: Program, array_name: str,
                         inst: SparseFormat) -> Tuple[Dict, Dict]:
-    """A deterministic matvec-shaped workload for auto-mode measurement:
-    every vector array gets random data long enough for any loop extent,
-    scalars get zero, and parameter values are inferred from the bound
-    instance."""
+    """A deterministic workload for auto-mode measurement: every vector
+    array gets random data long enough for any loop extent, dense panels
+    (``dmat``) get ``_DEFAULT_PANEL_WIDTH`` columns, scalars get zero, and
+    parameter values are inferred from the bound instance (parameters no
+    binding pins — SpMM's panel width — default to the panel width too)."""
     import numpy as np
 
     from repro.core.compiler import infer_param_values
 
     params = {k: int(v) for k, v in
               infer_param_values(program, {array_name: inst}).items()}
+    for p in program.params:
+        params.setdefault(p, _DEFAULT_PANEL_WIDTH)
     size = max([inst.nrows, inst.ncols, 1] + list(params.values()))
     rng = np.random.default_rng(0)
     arrays: Dict[str, object] = {array_name: inst}
@@ -194,6 +217,8 @@ def _synthetic_workload(program: Program, array_name: str,
             continue
         if decl.kind == "vector":
             arrays[name] = rng.random(size)
+        elif decl.kind == "dmat":
+            arrays[name] = rng.random((size, _DEFAULT_PANEL_WIDTH))
         elif decl.kind == "scalar":
             arrays[name] = np.zeros(())
     return arrays, params
@@ -266,7 +291,8 @@ def select_format(
     matrix,
     candidates: Sequence[str] = DEFAULT_CANDIDATES,
     mode: str = "model",
-    workload: Optional[Callable[[SparseFormat], Tuple[Mapping, Mapping]]] = None,
+    workload: Union[None, str,
+                    Callable[[SparseFormat], Tuple[Mapping, Mapping]]] = None,
     repeats: Optional[int] = None,
     backend: str = "python",
     topk: Optional[int] = None,
@@ -284,6 +310,14 @@ def select_format(
     candidates on a synthetic workload (or ``workload`` when given) and
     serves repeats of the same structure class from the winner cache.
 
+    ``workload`` also accepts a workload-family *name* (``"matvec"`` /
+    ``"spmm"`` / ...): the named kernel replaces ``program`` for both
+    compilation and measurement, so ``workload="spmm"`` selects the
+    format that wins under SpMM micro-benchmarks — the CSR-vs-CSC winner
+    flips between matvec and SpMM, which is exactly why the axis exists.
+    A named workload measures on the synthetic inputs (empirical mode
+    included).
+
     ``backend`` is forwarded to the compiler; measurements execute
     through the kernel's real dispatch, and each choice records
     ``backend_used`` so a Python-fallback timing is never silently
@@ -294,7 +328,13 @@ def select_format(
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
-    if mode == "empirical" and workload is None:
+    named_workload = isinstance(workload, str)
+    if named_workload:
+        # the workload axis by name: measure (and compile) the named
+        # kernel on its synthetic inputs instead of the caller's program
+        program = _workload_program(workload)
+        workload = None
+    if mode == "empirical" and workload is None and not named_workload:
         raise ValueError("empirical mode requires a workload callable")
 
     from repro.formats.coo import CooMatrix

@@ -7,6 +7,7 @@ kernel), usable with any format.
 
 from repro.solvers.context import ALL_OPS, BoundOp, SolverContext
 from repro.solvers.bicgstab import bicgstab
+from repro.solvers.block_cg import block_cg
 from repro.solvers.cg import cg
 from repro.solvers.jacobi import jacobi
 from repro.solvers.sor import gauss_seidel, sor
@@ -23,6 +24,7 @@ __all__ = [
     "BoundOp",
     "SolverContext",
     "bicgstab",
+    "block_cg",
     "cg",
     "jacobi",
     "gauss_seidel",

@@ -6,7 +6,8 @@ format-independent iterative solvers linked against format-specific BLAS.
 matrix instance it (optionally) picks a storage format through
 :func:`repro.search.format_select.select_format`, batch-compiles the
 kernels the solver will need (``mvm``, ``mvm_t``, ``ts_lower``,
-``ts_upper``) through :func:`repro.core.service.compile_many`, and then
+``ts_upper``, ``spmm``, ``spmm_t``) through
+:func:`repro.core.service.compile_many`, and then
 serves every solver iteration through the bound kernels with preallocated,
 reused workspaces — no per-iteration ``np.zeros``, no per-call dispatch
 dictionary walks.
@@ -42,14 +43,16 @@ from repro.instrument import INSTR
 from repro.ir import kernels as _kernels
 
 #: every operation a context knows how to bind
-ALL_OPS = ("mvm", "mvm_t", "ts_lower", "ts_upper")
+ALL_OPS = ("mvm", "mvm_t", "ts_lower", "ts_upper", "spmm", "spmm_t")
 
-#: op name -> (program factory, matrix array name, vector array names)
+#: op name -> (program factory, matrix array name, dense array names)
 _OP_SPECS = {
     "mvm": (_kernels.mvm, "A", ("x", "y")),
     "mvm_t": (_kernels.mvm_t, "A", ("x", "y")),
     "ts_lower": (_kernels.ts_lower, "L", ("b",)),
     "ts_upper": (_kernels.ts_upper, "U", ("b",)),
+    "spmm": (_kernels.spmm, "A", ("X", "Y")),
+    "spmm_t": (_kernels.spmm_t, "A", ("X", "Y")),
 }
 
 
@@ -77,6 +80,18 @@ class BoundOp:
         a["y"] = y
         self.fn(a, self.params)
         return y
+
+    def apply_mm(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        """Y = op(X) for a dense panel through the bound kernel (spmm /
+        spmm_t).  The panel width ``k`` is the one parameter no binding
+        can pin (dense operands are unbound), so it is taken from ``X``
+        per call."""
+        a = self.arrays
+        a["X"] = X
+        a["Y"] = Y
+        self.params["k"] = int(X.shape[1])
+        self.fn(a, self.params)
+        return Y
 
     def apply_solve(self, b: np.ndarray) -> np.ndarray:
         """In-place triangular solve on ``b`` through the bound kernel."""
@@ -174,9 +189,13 @@ class SolverContext:
         pick the analytical / measured routes.
     candidates / select_mode / workload:
         Forwarded to :func:`repro.search.format_select.select_format`.
-        For the ``auto`` and ``empirical`` modes the context's execution
-        backend is forwarded too, so the measurements time the same
-        dispatch the solver will use.
+        ``workload`` may be a callable (empirical measurement inputs) or
+        a workload-family name — ``workload="spmm"`` tunes the selection
+        micro-benchmarks on the SpMM kernel instead of matvec (the
+        CSR-vs-CSC winner flips between the two).  For the ``auto`` and
+        ``empirical`` modes the context's execution backend is forwarded
+        too, so the measurements time the same dispatch the solver will
+        use.
     register:
         When true (default), publish the bound kernels as per-instance
         handles so the plain functional API (:func:`repro.blas.api.mvm`
@@ -188,7 +207,7 @@ class SolverContext:
                  select: Union[bool, str] = False,
                  candidates: Optional[Sequence[str]] = None,
                  select_mode: str = "model",
-                 workload: Optional[Callable] = None,
+                 workload: Union[None, str, Callable] = None,
                  cache: Optional[str] = None,
                  max_workers: Optional[int] = None,
                  register: bool = True):
@@ -220,9 +239,13 @@ class SolverContext:
                 self.L, self.U = _triangular_split(A)
             self._compile(ops, backend, parallel, cache, max_workers)
             # reused matvec outputs (the solvers pass their own buffers for
-            # values that must survive a second matvec)
+            # values that must survive a second matvec); the 2-D panel
+            # workspaces are lazily sized on the first matmat call, since
+            # the panel width k is unknown until then
             self._y = np.zeros(A.nrows)
             self._yt = np.zeros(A.ncols)
+            self._Y2: Optional[np.ndarray] = None
+            self._Y2t: Optional[np.ndarray] = None
             if register:
                 self._register_handles()
 
@@ -255,6 +278,7 @@ class SolverContext:
         for op in ops:
             factory, mat_name, _vecs = _OP_SPECS[op]
             inst = {"mvm": lambda: self.A, "mvm_t": lambda: self.A,
+                    "spmm": lambda: self.A, "spmm_t": lambda: self.A,
                     "ts_lower": lambda: self.L,
                     "ts_upper": lambda: self.U}[op]()
             programs.append(factory())
@@ -293,6 +317,8 @@ class SolverContext:
             target = bound.arrays[_OP_SPECS[op][1]]
             if op in ("mvm", "mvm_t"):
                 blas_api.register_kernel_handle(target, op, bound.apply)
+            elif op in ("spmm", "spmm_t"):
+                blas_api.register_kernel_handle(target, op, bound.apply_mm)
             else:
                 blas_api.register_kernel_handle(target, op, bound.apply_solve)
 
@@ -345,6 +371,34 @@ class SolverContext:
         if b is None:
             return blas_api.dispatch_mvm_t(self.A, x, out)
         return b.apply(x, out)
+
+    def matmat(self, X: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``out = A X`` for a dense ``n × k`` panel through the bound
+        ``spmm`` kernel (multi-RHS fast path).  ``out`` defaults to a
+        reused ``(nrows, k)`` workspace, (re)allocated only when the panel
+        width changes — pass an explicit buffer when the result must
+        survive the next matmat."""
+        if out is None:
+            k = X.shape[1]
+            if self._Y2 is None or self._Y2.shape[1] != k:
+                self._Y2 = np.zeros((self.A.nrows, k))
+            out = self._Y2
+        b = self._bound.get("spmm")
+        if b is None:
+            return blas_api.dispatch_mm(self.A, X, out)
+        return b.apply_mm(X, out)
+
+    def matmat_t(self, X: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """``out = A^T X`` through the bound ``spmm_t`` kernel."""
+        if out is None:
+            k = X.shape[1]
+            if self._Y2t is None or self._Y2t.shape[1] != k:
+                self._Y2t = np.zeros((self.A.ncols, k))
+            out = self._Y2t
+        b = self._bound.get("spmm_t")
+        if b is None:
+            return blas_api.dispatch_mm_t(self.A, X, out)
+        return b.apply_mm(X, out)
 
     def lower_solve(self, b: np.ndarray, in_place: bool = False) -> np.ndarray:
         """``b := L^{-1} b`` with L the lower-including-diagonal part."""
@@ -420,3 +474,28 @@ def resolve_matvec(A, matvec: Optional[MatVec], context: Optional[SolverContext]
         return blas_api.mvm(_A, x, out)
 
     return A, mv
+
+
+MatMat = Callable[[np.ndarray], np.ndarray]
+
+
+def resolve_matmat(A, matmat: Optional[MatMat], context: Optional[SolverContext]):
+    """:func:`resolve_matvec` for dense panels: normalize ``(A, matmat,
+    context)`` into ``(matrix, mm)`` where ``mm(X, out)`` computes ``A X``
+    into ``out`` for a dense ``n × k`` panel."""
+    if isinstance(A, SolverContext):
+        context = A
+        A = context.A
+    if matmat is not None:
+        def mm(X, out=None, _f=matmat):
+            return _f(X)
+        return A, mm
+    if context is not None:
+        return A, context.matmat
+
+    def mm(X, out=None, _A=A):
+        if out is None:
+            return blas_api.mm(_A, X)
+        return blas_api.mm(_A, X, out)
+
+    return A, mm

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.blas import dense_ref, generic_, specialized
-from repro.blas.api import mvm, mvm_t, ts_lower_solve, ts_upper_solve
+from repro.blas.api import mm, mm_t, mvm, mvm_t, ts_lower_solve, ts_upper_solve
 from repro.formats import as_format
 from repro.formats.generate import (
     lower_triangular_of,
@@ -141,10 +141,47 @@ class TestDispatch:
         assert np.allclose(upper.to_dense() @ x, b, atol=1e-9)
 
 
+class TestMm:
+    """SpMM through the dispatch: specialized kernels for csr/csc, the
+    generic enumeration everywhere else, all against the dense oracle."""
+
+    @pytest.mark.parametrize("fmt", ALL)
+    def test_mm_matches_oracle(self, fmt, dense_a, rng):
+        a = np.zeros((8, 10))
+        a[:7, :9] = dense_a
+        kwargs = {"block_size": 2} if fmt == "bsr" else {}
+        f = as_format(a, fmt, **kwargs)
+        X = rng.random((10, 4))
+        assert np.allclose(mm(f, X), dense_ref.mm(a, X))
+
+    @pytest.mark.parametrize("fmt", ALL)
+    def test_mm_t_matches_oracle(self, fmt, dense_a, rng):
+        a = np.zeros((8, 10))
+        a[:7, :9] = dense_a
+        kwargs = {"block_size": 2} if fmt == "bsr" else {}
+        f = as_format(a, fmt, **kwargs)
+        X = rng.random((8, 3))
+        assert np.allclose(mm_t(f, X), dense_ref.mm_t(a, X))
+
+    def test_mm_single_column_matches_mvm(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        x = rng.random(9)
+        assert np.array_equal(mm(f, x[:, None])[:, 0], mvm(f, x))
+
+    def test_mm_into_caller_buffer(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        X = rng.random((9, 2))
+        Y = np.full((7, 2), 9.0)
+        out = mm(f, X, Y)
+        assert out is Y
+        assert np.allclose(Y, dense_ref.mm(dense_a, X))
+
+
 class TestFlops:
     def test_counts(self):
         assert dense_ref.flops_mvm(100) == 200
         assert dense_ref.flops_ts(100, 10) == 190
+        assert dense_ref.flops_mm(100, 16) == 3200
 
 
 class TestOutputDtype:
@@ -171,6 +208,24 @@ class TestOutputDtype:
         a = self._f32_csr(dense_a)
         x = rng.random(7).astype(np.float32)
         assert mvm_t(a, x).dtype == np.float32
+
+    def test_mm_preserves_float32(self, dense_a, rng):
+        a = self._f32_csr(dense_a)
+        X = rng.random((9, 4)).astype(np.float32)
+        Y = mm(a, X)
+        assert Y.dtype == np.float32
+        assert Y.shape == (7, 4)
+        assert np.allclose(Y, dense_a.astype(np.float32) @ X, atol=1e-5)
+
+    def test_mm_promotes_mixed(self, dense_a, rng):
+        # float32 matrix x float64 panel -> float64 (np.result_type)
+        a = self._f32_csr(dense_a)
+        assert mm(a, rng.random((9, 4))).dtype == np.float64
+
+    def test_mm_t_preserves_float32(self, dense_a, rng):
+        a = self._f32_csr(dense_a)
+        X = rng.random((7, 2)).astype(np.float32)
+        assert mm_t(a, X).dtype == np.float32
 
     def test_format_dtype_property(self, dense_a):
         a = as_format(dense_a, "csr")

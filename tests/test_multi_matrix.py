@@ -69,23 +69,29 @@ class TestSpmm:
     def test_sparse_times_dense(self, fa, mats):
         Ad, _ = mats
         A = as_format(Ad, fa)
-        Bm = np.random.default_rng(1).random((8, 5))
-        C = np.full((6, 5), 7.0)
-        Cd = C.copy()
+        X = np.random.default_rng(1).random((8, 5))
+        Y = np.full((6, 5), 7.0)
+        Yd = Y.copy()
         k = _compiled(("spmm", fa), spmm(), {"A": A})
-        execute_dense(spmm(), {"A": Ad.copy(), "B": Bm, "C": Cd},
-                      {"m": 6, "n": 8, "p": 5})
-        k({"A": A, "B": Bm, "C": C}, {"m": 6, "n": 8, "p": 5})
-        assert np.allclose(C, Cd)
-        assert np.allclose(C, Ad @ Bm)
+        execute_dense(spmm(), {"A": Ad.copy(), "X": X, "Y": Yd},
+                      {"m": 6, "n": 8, "k": 5})
+        k({"A": A, "X": X, "Y": Y}, {"m": 6, "n": 8, "k": 5})
+        assert np.allclose(Y, Yd)
+        assert np.allclose(Y, Ad @ X)
 
     def test_interpreter_agrees(self, mats):
         Ad, _ = mats
         A = as_format(Ad, "csr")
-        Bm = np.random.default_rng(2).random((8, 5))
-        C1 = np.zeros((6, 5))
-        C2 = np.zeros((6, 5))
+        X = np.random.default_rng(2).random((8, 5))
+        Y1 = np.zeros((6, 5))
+        Y2 = np.zeros((6, 5))
         k = _compiled(("spmm", "csr"), spmm(), {"A": A})
-        k.run({"A": A, "B": Bm, "C": C1}, {"m": 6, "n": 8, "p": 5})
-        k({"A": A, "B": Bm, "C": C2}, {"m": 6, "n": 8, "p": 5})
-        assert np.allclose(C1, C2)
+        k.run({"A": A, "X": X, "Y": Y1}, {"m": 6, "n": 8, "k": 5})
+        k({"A": A, "X": X, "Y": Y2}, {"m": 6, "n": 8, "k": 5})
+        assert np.allclose(Y1, Y2)
+
+    def test_dmat_operand_cannot_be_bound(self, mats):
+        Ad, _ = mats
+        X = as_format(np.ones((8, 5)), "csr")
+        with pytest.raises(ValueError, match="only matrices"):
+            compile_kernel(spmm(), {"X": X})

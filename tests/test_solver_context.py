@@ -61,7 +61,7 @@ class TestConstruction:
 
     def test_unknown_op_rejected(self, spd):
         with pytest.raises(ValueError, match="unknown op"):
-            _ctx(spd, ops=("mvm", "spmm"))
+            _ctx(spd, ops=("mvm", "spqr"))
 
     def test_dense_input_converted(self, spd_dense, b25):
         ctx = SolverContext(spd_dense, ops=("mvm",), backend="python")
