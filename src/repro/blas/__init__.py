@@ -11,7 +11,16 @@
 - :mod:`repro.blas.api` — uniform dispatch used by the solvers.
 """
 
-from repro.blas.api import mm, mm_t, mvm, mvm_t, ts_lower_solve, ts_upper_solve
+from repro.blas.api import (
+    mm,
+    mm_t,
+    mvm,
+    mvm_t,
+    spgemm,
+    spgemm_triples,
+    ts_lower_solve,
+    ts_upper_solve,
+)
 from repro.blas import specialized, generic_, dense_ref
 
 __all__ = [
@@ -19,6 +28,8 @@ __all__ = [
     "mm_t",
     "mvm",
     "mvm_t",
+    "spgemm",
+    "spgemm_triples",
     "ts_lower_solve",
     "ts_upper_solve",
     "specialized",

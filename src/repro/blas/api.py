@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.blas import generic_, specialized
 from repro.formats.base import SparseFormat
+from repro.formats.csr import CsrMatrix
 from repro.instrument import INSTR
 
 #: instance attribute holding the per-matrix handle dict {op: callable}
@@ -68,10 +69,43 @@ def _alloc(n: int, A: SparseFormat, x: np.ndarray) -> np.ndarray:
     return _alloc2(n, A, x)
 
 
+def _check_panel(op: str, A: SparseFormat, X: np.ndarray,
+                 need_rows: int) -> None:
+    """Reject malformed dense panels up front: a 1-D ``X`` used to hit
+    ``X.shape[1]`` with a raw IndexError, and a row-count mismatch was
+    silently computed with whatever indices happened to stay in range."""
+    shape = getattr(X, "shape", None)
+    if shape is None or len(shape) != 2:
+        raise ValueError(
+            f"{op}: X must be a 2-D panel, got shape {shape} "
+            f"(operand is {A.nrows}x{A.ncols})")
+    if shape[0] != need_rows:
+        raise ValueError(
+            f"{op}: operand is {A.nrows}x{A.ncols} so the panel needs "
+            f"{need_rows} rows, got panel of shape {tuple(shape)}")
+
+
+def _check_out(op: str, out: np.ndarray, shape, result_dtype) -> None:
+    """Validate a caller-provided output: the shape must match and the
+    promoted product dtype must be safely representable — writing float64
+    products into an int or float32 buffer silently truncated before."""
+    if tuple(out.shape) != tuple(shape):
+        raise ValueError(
+            f"{op}: caller-provided output has shape {tuple(out.shape)}, "
+            f"expected {tuple(shape)}")
+    if not np.can_cast(result_dtype, out.dtype, casting="safe"):
+        raise ValueError(
+            f"{op}: writing {np.dtype(result_dtype)} products into a "
+            f"caller-provided {out.dtype} output would truncate; pass a "
+            f"{np.dtype(result_dtype)} buffer (or omit it)")
+
+
 def mvm(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
     """y = A x."""
     if y is None:
         y = _alloc(A.nrows, A, x)
+    else:
+        _check_out("mvm", y, (A.nrows,), np.result_type(A.dtype, x.dtype))
     h = kernel_handle(A, "mvm")
     if h is not None:
         INSTR.count("blas.handle.hits")
@@ -81,8 +115,14 @@ def mvm(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.nd
 
 def mm(A: SparseFormat, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
     """Y = A X with ``X`` a dense ``n × k`` panel (SpMM)."""
+    _check_panel("mm", A, X, A.ncols)
     if Y is None:
         Y = _alloc2((A.nrows, X.shape[1]), A, X)
+    else:
+        _check_out("mm", Y, (A.nrows, X.shape[1]),
+                   np.result_type(A.dtype, X.dtype))
+    if X.shape[1] == 0:
+        return Y  # empty panel: (m, 0) result, nothing to dispatch
     h = kernel_handle(A, "spmm")
     if h is not None:
         INSTR.count("blas.handle.hits")
@@ -92,8 +132,14 @@ def mm(A: SparseFormat, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.nda
 
 def mm_t(A: SparseFormat, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
     """Y = A^T X with ``X`` a dense ``m × k`` panel."""
+    _check_panel("mm_t", A, X, A.nrows)
     if Y is None:
         Y = _alloc2((A.ncols, X.shape[1]), A, X)
+    else:
+        _check_out("mm_t", Y, (A.ncols, X.shape[1]),
+                   np.result_type(A.dtype, X.dtype))
+    if X.shape[1] == 0:
+        return Y
     h = kernel_handle(A, "spmm_t")
     if h is not None:
         INSTR.count("blas.handle.hits")
@@ -105,6 +151,8 @@ def mvm_t(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.
     """y = A^T x."""
     if y is None:
         y = _alloc(A.ncols, A, x)
+    else:
+        _check_out("mvm_t", y, (A.ncols,), np.result_type(A.dtype, x.dtype))
     h = kernel_handle(A, "mvm_t")
     if h is not None:
         INSTR.count("blas.handle.hits")
@@ -113,9 +161,20 @@ def mvm_t(A: SparseFormat, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.
 
 
 def ts_lower_solve(L: SparseFormat, b: np.ndarray, in_place: bool = False) -> np.ndarray:
-    """b := L^{-1} b (forward substitution)."""
+    """b := L^{-1} b (forward substitution).
+
+    The solve writes quotients: an integer (or narrower-float) ``b``
+    cannot hold them.  With ``in_place=False`` the working copy is
+    promoted to the result dtype; with ``in_place=True`` a lossy ``b``
+    is rejected instead of silently truncated."""
+    rt = np.result_type(L.dtype, b.dtype)
     if not in_place:
-        b = b.copy()
+        b = b.astype(rt, copy=True)
+    elif not np.can_cast(rt, b.dtype, casting="safe"):
+        raise ValueError(
+            f"ts_lower_solve: in-place solve writes {np.dtype(rt)} values "
+            f"into a {b.dtype} b, which would truncate; promote b or use "
+            f"in_place=False")
     h = kernel_handle(L, "ts_lower")
     if h is not None:
         INSTR.count("blas.handle.hits")
@@ -124,14 +183,172 @@ def ts_lower_solve(L: SparseFormat, b: np.ndarray, in_place: bool = False) -> np
 
 
 def ts_upper_solve(U: SparseFormat, b: np.ndarray, in_place: bool = False) -> np.ndarray:
-    """b := U^{-1} b (backward substitution)."""
+    """b := U^{-1} b (backward substitution).  Same dtype contract as
+    :func:`ts_lower_solve`."""
+    rt = np.result_type(U.dtype, b.dtype)
     if not in_place:
-        b = b.copy()
+        b = b.astype(rt, copy=True)
+    elif not np.can_cast(rt, b.dtype, casting="safe"):
+        raise ValueError(
+            f"ts_upper_solve: in-place solve writes {np.dtype(rt)} values "
+            f"into a {b.dtype} b, which would truncate; promote b or use "
+            f"in_place=False")
     h = kernel_handle(U, "ts_upper")
     if h is not None:
         INSTR.count("blas.handle.hits")
         return h(b)
     return dispatch_ts_upper(U, b)
+
+
+# ---------------------------------------------------------------------------
+# SpGEMM: C = A B with both operands sparse.  Unlike every operation above,
+# the output's sparsity pattern is *computed*, not declared — the paper's
+# framework covers kernels whose output structure is given up front, so the
+# sparse×sparse product runs through a dedicated three-tier dispatch here:
+#
+# 1. vectorized NumPy expand-sort-reduce for the CSR×CSR hot case (scipy-
+#    free, O(flops) work in array ops);
+# 2. the specialized two-pass row-wise kernel table (symbolic pass computes
+#    the output row pointer, numeric pass fills colind/values through a
+#    dense or hash accumulator);
+# 3. generic enumeration over any format pair via ``iter_nonzeros`` + COO
+#    dedup into the ``_from_canonical_coo`` construction core.
+#
+# All three tiers produce identical canonical output (sorted rows, sorted
+# columns within rows, duplicates summed, cancelled zeros kept) — byte-
+# for-byte on integer data, which the differential wall pins.
+# ---------------------------------------------------------------------------
+
+def _check_spgemm_operands(A, B) -> None:
+    if not isinstance(A, SparseFormat) or not isinstance(B, SparseFormat):
+        raise ValueError(
+            f"spgemm: both operands must be sparse format instances, got "
+            f"{type(A).__name__} and {type(B).__name__}")
+    if A.ncols != B.nrows:
+        raise ValueError(
+            f"spgemm: inner dimensions do not conform: A is "
+            f"{A.nrows}x{A.ncols}, B is {B.nrows}x{B.ncols}")
+
+
+def _spgemm_csr_csr_vectorized(A: CsrMatrix, B: CsrMatrix):
+    """Vectorized expand-sort-reduce SpGEMM for CSR×CSR: canonical COO
+    triples of ``C = A B`` plus the intermediate-product count, all in
+    NumPy array ops (no scipy).
+
+    Symbolic phase: every stored entry of A expands into the stored
+    entries of the B row its column selects — segment arithmetic
+    (``repeat``/``cumsum``) builds the flat product list, and a
+    ``np.unique`` over row-major output keys is exactly the computed
+    output pattern.  Numeric phase: one ``np.add.at`` scatter-add of the
+    products onto the unique pattern slots."""
+    m, n = A.nrows, B.ncols
+    with INSTR.phase("spgemm.symbolic"):
+        a_rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(A.rowptr))
+        counts = (B.rowptr[A.colind + 1] - B.rowptr[A.colind])
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, np.zeros(0, dtype=np.float64), 0
+        starts = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+        bpos = np.repeat(B.rowptr[A.colind], counts) + within
+        out_rows = np.repeat(a_rows, counts)
+        out_cols = B.colind[bpos]
+        keys = out_rows * np.int64(n) + out_cols
+        uniq, inverse = np.unique(keys, return_inverse=True)
+    with INSTR.phase("spgemm.numeric"):
+        prods = np.repeat(A.values, counts) * B.values[bpos]
+        vals = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(vals, inverse, prods)
+    if n > 0:
+        rows, cols = uniq // n, uniq % n
+    else:
+        rows = cols = uniq
+    return rows, cols, vals, total
+
+
+def spgemm_triples(A: SparseFormat, B: SparseFormat,
+                   tier: Optional[str] = None):
+    """The computed product structure of ``C = A B`` as canonical COO
+    triples ``(rows, cols, vals, nmults)`` — the tier-dispatching core of
+    :func:`spgemm`, exposed so callers that want a different packing (or
+    just the pattern) skip the format construction.
+
+    ``tier`` forces a specific implementation (``"vectorized"`` /
+    ``"specialized"`` / ``"generic"``; the differential suite and the
+    benchmark compare them); None picks the fastest applicable."""
+    _check_spgemm_operands(A, B)
+    both_csr = type(A) is CsrMatrix and type(B) is CsrMatrix
+    if tier is None:
+        tier = "vectorized" if both_csr else (
+            "specialized" if (A.format_name, B.format_name)
+            in specialized.SPGEMM else "generic")
+    if tier == "vectorized":
+        if not both_csr:
+            raise ValueError(
+                f"spgemm: the vectorized tier needs CSR operands, got "
+                f"{A.format_name}x{B.format_name}")
+        INSTR.count("spgemm.tier.vectorized")
+        return _spgemm_csr_csr_vectorized(A, B)
+    if tier == "specialized":
+        fn = specialized.SPGEMM.get((A.format_name, B.format_name))
+        if fn is None:
+            raise ValueError(
+                f"spgemm: no specialized kernel for the "
+                f"{A.format_name}x{B.format_name} pair")
+        INSTR.count("spgemm.tier.specialized")
+        with INSTR.phase("spgemm.twopass"):
+            C = fn(A, B)
+        rows = np.repeat(np.arange(C.nrows, dtype=np.int64),
+                         np.diff(C.rowptr))
+        nmults = int((B.rowptr[A.colind + 1] - B.rowptr[A.colind]).sum()) \
+            if type(A) is CsrMatrix and type(B) is CsrMatrix else -1
+        return rows, C.colind.copy(), C.values.copy(), nmults
+    if tier == "generic":
+        INSTR.count("spgemm.tier.generic")
+        with INSTR.phase("spgemm.enumerate"):
+            return generic_.spgemm_coo(A, B)
+    raise ValueError(f"tier must be 'vectorized', 'specialized' or "
+                     f"'generic', got {tier!r}")
+
+
+def spgemm(A: SparseFormat, B: SparseFormat,
+           out_format: Optional[str] = None,
+           tier: Optional[str] = None, **format_kwargs) -> SparseFormat:
+    """C = A B with both operands sparse; the output's sparsity pattern
+    is computed by the symbolic pass, then packed into ``out_format``.
+
+    ``out_format=None`` packs CSR (the row-major canonical triples drop
+    straight into its construction core).  ``out_format="auto"`` chooses
+    the output format from the *computed* structure's features
+    (:func:`repro.search.format_select.select_output_format`) — the
+    selection axis where the winner is the output format, not an input's.
+    Any other name packs that format (``format_kwargs`` forwarded, e.g.
+    ``block_size`` for BSR); a format that rejects the computed structure
+    falls back to CSR observably (``spgemm.output_fallbacks``)."""
+    INSTR.count("spgemm.calls")
+    rows, cols, vals, _nmults = spgemm_triples(A, B, tier=tier)
+    shape = (A.nrows, B.ncols)
+    if out_format is None or out_format == "csr":
+        return CsrMatrix._from_canonical_coo(rows, cols, vals, shape)
+    if out_format == "auto":
+        from repro.search.format_select import select_output_format
+
+        choice = select_output_format(rows, cols, shape)
+        out_format, format_kwargs = choice.format_name, choice.format_kwargs
+    from repro.formats.convert import FORMATS
+
+    cls = FORMATS.get(out_format)
+    if cls is None:
+        raise ValueError(f"spgemm: unknown output format {out_format!r}")
+    try:
+        return cls._from_canonical_coo(rows, cols, vals, shape,
+                                       **format_kwargs)
+    except (ValueError, KeyError):
+        # the requested/selected output format does not admit the computed
+        # structure (BSR divisibility, SYM symmetry, ...): CSR always does
+        INSTR.count("spgemm.output_fallbacks")
+        return CsrMatrix._from_canonical_coo(rows, cols, vals, shape)
 
 
 # -- handle-free dispatch (the pre-context per-call path; also the tier the

@@ -21,6 +21,12 @@ def mm_t(A: np.ndarray, X: np.ndarray) -> np.ndarray:
     return A.T @ X
 
 
+def spgemm(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """C = A B with both operands dense — the structure-blind oracle the
+    sparse×sparse tiers are differentially tested against."""
+    return A @ B
+
+
 def ts_lower(L: np.ndarray, b: np.ndarray) -> np.ndarray:
     import scipy.linalg as sla
 
@@ -46,3 +52,10 @@ def flops_mm(nnz: int, k: int) -> int:
 def flops_ts(nnz: int, n: int) -> int:
     """Multiply + subtract per off-diagonal entry, one division per row."""
     return 2 * (nnz - n) + n
+
+
+def flops_spgemm(nmults: int) -> int:
+    """Multiply + add per intermediate product of the sparse×sparse
+    expansion (``nmults`` = sum over stored A entries of the matching B
+    row length — data-dependent, unlike the declared-structure kernels)."""
+    return 2 * nmults

@@ -73,6 +73,40 @@ def mm_t(A: SparseFormat, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
     return Y
 
 
+def spgemm_coo(A: SparseFormat, B: SparseFormat):
+    """Sparse×sparse product ``C = A B`` through abstract enumeration,
+    returned as canonical COO triples ``(rows, cols, vals)`` (row-major
+    sorted, duplicates summed) plus the count of intermediate products.
+
+    One code for every format pair: B's stored entries are gathered into
+    per-row lists through :func:`iter_nonzeros`, then each stored entry
+    of A expands against the matching B row.  Duplicate output
+    coordinates (several A entries landing on one ``C[r, c]``) are left
+    for :func:`repro.formats.base.coo_dedup_sort` to sum — the same
+    canonicalization every constructor applies, so the triples feed any
+    output format's ``_from_canonical_coo`` construction core directly.
+    """
+    from repro.formats.base import coo_dedup_sort
+
+    b_rows: list = [[] for _ in range(B.nrows)]
+    for r, c, v in iter_nonzeros(B):
+        b_rows[r].append((c, v))
+    out_r: list = []
+    out_c: list = []
+    out_v: list = []
+    nmults = 0
+    for r, c, v in iter_nonzeros(A):
+        for c2, v2 in b_rows[c]:
+            out_r.append(r)
+            out_c.append(c2)
+            out_v.append(v * v2)
+            nmults += 1
+    rows, cols, vals = coo_dedup_sort(
+        np.array(out_r, dtype=np.int64), np.array(out_c, dtype=np.int64),
+        np.array(out_v, dtype=np.float64), (A.nrows, B.ncols), order="row")
+    return rows, cols, vals, nmults
+
+
 def ts_lower(L: SparseFormat, b: np.ndarray) -> np.ndarray:
     """Forward substitution through random access: one code for every
     format, each element located with ``get`` (the generality/performance

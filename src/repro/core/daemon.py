@@ -534,6 +534,8 @@ class CompileServer:
         family a cached kernel serves (``describe``/``stats`` report these
         so service benchmarks can confirm SpMM requests ride the same
         handle-addressed LRU as matvec and solve)."""
+        if program_name.startswith("spgemm"):
+            return "spgemm"
         if program_name.startswith("spmm"):
             return "spmm"
         if "mvm" in program_name:

@@ -67,6 +67,19 @@ Counter namespaces used by the compiler:
                           (``autotune.microbench.runs``), cached-winner
                           replays and replay failures
 - ``solver.split``      — SolverContext triangular-split phase timer
+- ``solver.normal``     — SolverContext normal-equation product
+                          (``A^T A`` / ``A A^T``) construction phase
+- ``spgemm.*``          — sparse×sparse products: phase timers for the
+                          two-pass tiers (``spgemm.symbolic`` /
+                          ``spgemm.numeric`` for the vectorized CSR
+                          path, ``spgemm.twopass`` for the specialized
+                          accumulator kernels, ``spgemm.enumerate`` for
+                          the generic any-pair route), call and tier
+                          counters (``spgemm.calls``,
+                          ``spgemm.tier.vectorized`` / ``.specialized``
+                          / ``.generic``), output-format selections
+                          (``spgemm.output_select``) and packing
+                          fallbacks to CSR (``spgemm.output_fallbacks``)
 """
 
 from __future__ import annotations

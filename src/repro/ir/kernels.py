@@ -275,6 +275,35 @@ def spmm_t() -> Program:
     )
 
 
+def spgemm() -> Program:
+    """Sparse×sparse multiplication ``C = A B`` in its dense-output panel
+    form: both ``A`` and ``B`` are sparse-binding candidates (the compiler
+    realizes the cross-matrix join — enumerate ``A``, enumerate-or-search
+    ``B``'s row), while ``C`` is a ``dmat`` because the IR declares output
+    structure up front.  The *computed*-structure product (output pattern
+    discovered by a symbolic pass) lives in :func:`repro.blas.api.spgemm`;
+    this kernel is the workload-axis form the selection and serving
+    surfaces compile and measure.  ``B`` may also be left unbound, in
+    which case it is an addressable dense operand like ``X`` in ``spmm``.
+    """
+    return parse_program(
+        """
+        spgemm(m, n, k; A: matrix, B: matrix, C: dmat) {
+            for i = 0 : m {
+                for p = 0 : k {
+                    C[i][p] = 0;
+                }
+                for j = 0 : n {
+                    for p2 = 0 : k {
+                        C[i][p2] = C[i][p2] + A[i][j] * B[j][p2];
+                    }
+                }
+            }
+        }
+        """
+    )
+
+
 ALL_KERNELS = {
     "mvm": mvm,
     "mvm_acc": mvm_acc,
@@ -291,4 +320,5 @@ ALL_KERNELS = {
     "add_mvm": add_mvm,
     "spmm": spmm,
     "spmm_t": spmm_t,
+    "spgemm": spgemm,
 }

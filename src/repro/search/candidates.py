@@ -182,12 +182,34 @@ def generate_candidates(
         copy_by_label = {c.label: c for c in copies}
         align_cache: Dict = {}
 
-        # fused data chains (blocks of (refs, axis))
+        # fused data chains (blocks of (refs, axis)).  Fusing two members of
+        # one statement copy into one dimension conjoins their coordinate
+        # constraints on that copy's instances, so same-copy references may
+        # only share an enumeration when their index functions coincide
+        # (smvm_two's twin A[i][j]); one matrix bound to two operand names
+        # with different subscripts (spgemm's A[i][j] * B[j][p2] with A and
+        # B the same instance) must enumerate independently or the join
+        # collapses to the diagonal.  Refs in *different* copies embed
+        # separately and may fuse regardless of subscripts (ts reads
+        # L[i][j] and L[i][i] from distinct statements over one traversal).
         groups: Dict[Tuple, List[SparseRef]] = {}
         for copy in copies:
             for ref in copy.refs:
                 key = (id(ref.fmt), ref.path.branch, ref.path.path_id)
                 groups.setdefault(key, []).append(ref)
+        split: Dict[Tuple, List[SparseRef]] = {}
+        for key, refs in groups.items():
+            per_copy: Dict[str, set] = {}
+            for ref in refs:
+                per_copy.setdefault(ref.owner_label, set()).add(
+                    ref.access.indices)
+            if all(len(sigs) == 1 for sigs in per_copy.values()):
+                split[key] = refs
+            else:
+                for ref in refs:
+                    split[key + (ref.access.indices,)] = split.get(
+                        key + (ref.access.indices,), []) + [ref]
+        groups = split
 
         chains: List[List[List[ProductDim]]] = []  # chain -> blocks -> dims
         gi = 0

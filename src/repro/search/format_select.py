@@ -186,7 +186,8 @@ def _workload_program(name: str) -> Program:
     from repro.ir import kernels as _kernels
 
     factories = {"matvec": _kernels.mvm, "mvm": _kernels.mvm,
-                 "spmm": _kernels.spmm, "spmm_t": _kernels.spmm_t}
+                 "spmm": _kernels.spmm, "spmm_t": _kernels.spmm_t,
+                 "spgemm": _kernels.spgemm}
     factory = factories.get(name)
     if factory is None:
         raise ValueError(f"unknown workload {name!r}; choose from "
@@ -219,6 +220,10 @@ def _synthetic_workload(program: Program, array_name: str,
             arrays[name] = rng.random(size)
         elif decl.kind == "dmat":
             arrays[name] = rng.random((size, _DEFAULT_PANEL_WIDTH))
+        elif decl.kind == "matrix":
+            # an unbound matrix operand (SpGEMM's B when only A drives the
+            # selection): a dense square block large enough for any extent
+            arrays[name] = rng.random((size, size))
         elif decl.kind == "scalar":
             arrays[name] = np.zeros(())
     return arrays, params
@@ -459,3 +464,113 @@ def _replay_winner(program, array_name, matrix, record, rows, cols, vals,
                           measured=measured,
                           backend_used=record.get("backend_used"))
     return SelectionResult([choice], {name: inst}, "auto")
+
+
+# ---------------------------------------------------------------------------
+# Output-format selection from a computed pattern (SpGEMM)
+# ---------------------------------------------------------------------------
+
+#: candidate *output* formats for a computed pattern.  ``sym`` is excluded
+#: by construction: pattern symmetry never implies value symmetry, and an
+#: SpGEMM product with a symmetric pattern is generally not value-symmetric.
+OUTPUT_CANDIDATES = ("csr", "csc", "coo", "ell", "dia", "jad", "msr", "bsr")
+
+
+class OutputFormatChoice:
+    """The winning output format for a computed sparsity pattern, plus the
+    full per-candidate score map for inspection.  ``format_kwargs`` carries
+    construction keywords (BSR's ``block_size``); pass both straight to the
+    winning class's ``_from_canonical_coo``."""
+
+    __slots__ = ("format_name", "format_kwargs", "score", "scores",
+                 "features")
+
+    def __init__(self, format_name: str, format_kwargs: Dict,
+                 score: float, scores: Dict[str, float], features):
+        self.format_name = format_name
+        self.format_kwargs = format_kwargs
+        self.score = score
+        self.scores = scores
+        self.features = features
+
+    def table(self) -> str:
+        lines = ["output-format selection (structure-driven):"]
+        for name, s in sorted(self.scores.items(), key=lambda kv: kv[1]):
+            mark = " *" if name == self.format_name else ""
+            lines.append(f"  {name:6s} {s:10.4g}{mark}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"<OutputFormatChoice {self.format_name} "
+                f"score={self.score:.4g}>")
+
+
+def select_output_format(rows, cols, shape,
+                         candidates: Sequence[str] = OUTPUT_CANDIDATES,
+                         ) -> OutputFormatChoice:
+    """Choose a storage format for a *computed* sparsity pattern — the
+    SpGEMM output, whose structure exists only after the symbolic pass, so
+    no input-side selection can have decided it.
+
+    Unlike :func:`select_format` there is no kernel to compile or measure
+    against (the product is about to be *packed*, not consumed by a known
+    workload), so the ranking is purely structural: each candidate gets a
+    relative packing-plus-storage cost from the O(nnz) pattern features
+    (:func:`repro.search.features.features_from_pattern`), CSR = 1.0
+    baseline.  The constants encode each format's failure mode:
+
+    - ``csc`` (1.05) / ``coo`` (1.15) / ``jad`` (1.10): fixed re-sort or
+      permutation overhead over row-major triples, structure-independent;
+    - ``ell``: padding — storage is ``nrows * max_row``, so the cost
+      scales with ``row_max_ratio`` (1.0 for perfectly regular rows,
+      unbounded for a power-law row);
+    - ``dia``: band area — cost scales with ``1 / band_fill`` (a dense
+      band beats CSR, a scattered pattern spanning the matrix loses);
+    - ``bsr``: tile padding — ``1 / block_fill`` at the 2x2 probe size,
+      only when both dimensions divide (``block_size=2`` is forwarded in
+      ``format_kwargs``);
+    - ``msr``: wins only as the diagonal fills (square matrices only).
+
+    ``rows``/``cols`` must already be canonical (deduplicated) — exactly
+    what the SpGEMM symbolic pass hands over.  An empty pattern short-
+    circuits to CSR.  The caller still owns packing failure: a scored
+    winner can be inapplicable to the *values* side, and
+    :func:`repro.blas.api.spgemm` falls back to CSR observably.
+    """
+    from repro.search.features import features_from_pattern
+
+    m, n = int(shape[0]), int(shape[1])
+    feats = features_from_pattern(rows, cols, (m, n), assume_canonical=True)
+    if feats.nnz == 0:
+        return OutputFormatChoice("csr", {}, 1.0, {"csr": 1.0}, feats)
+
+    scores: Dict[str, float] = {}
+    kwargs: Dict[str, Dict] = {}
+    for name in candidates:
+        if name == "csr":
+            scores[name] = 1.0
+        elif name == "csc":
+            scores[name] = 1.05
+        elif name == "coo":
+            scores[name] = 1.15
+        elif name == "jad":
+            scores[name] = 1.10
+        elif name == "ell":
+            scores[name] = 0.95 * max(1.0, feats.row_max_ratio)
+        elif name == "dia":
+            if feats.band_fill > 0.0:
+                scores[name] = 0.90 / feats.band_fill
+        elif name == "bsr":
+            if m % 2 == 0 and n % 2 == 0 and feats.block_fill > 0.0:
+                scores[name] = 0.95 / feats.block_fill
+                kwargs[name] = {"block_size": 2}
+        elif name == "msr":
+            if m == n:
+                scores[name] = 1.08 - 0.10 * feats.diag_fill
+        # unknown / excluded candidates (sym) are silently inapplicable
+    if not scores:
+        scores = {"csr": 1.0}
+    winner = min(scores, key=lambda k: (scores[k], k))
+    INSTR.count("spgemm.output_select")
+    return OutputFormatChoice(winner, kwargs.get(winner, {}),
+                              scores[winner], scores, feats)

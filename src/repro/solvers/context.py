@@ -27,7 +27,9 @@ Instrumentation (namespace ``solver.*``):
 - ``solver.contexts`` — contexts constructed;
 - ``solver.iterations`` — total solver iterations executed;
 - ``solver.fallback.compile`` / ``solver.fallback.select`` — fast-path
-  demotions, by reason.
+  demotions, by reason;
+- ``solver.normal`` — phase timer of the one-time normal-equation
+  product (``A^T A`` / ``A A^T``) construction.
 """
 
 from __future__ import annotations
@@ -227,6 +229,7 @@ class SolverContext:
         self.fallbacks: Dict[str, str] = {}
         self._bound: Dict[str, Optional[BoundOp]] = {}
         self._diag: Optional[np.ndarray] = None
+        self._normal: Dict[str, SparseFormat] = {}
         self.L: Optional[CsrMatrix] = None
         self.U: Optional[CsrMatrix] = None
 
@@ -351,6 +354,30 @@ class SolverContext:
             self._diag = d
         return self._diag
 
+    def normal(self, which: str = "ata", **spgemm_kwargs) -> SparseFormat:
+        """The normal-equation product — ``A^T A`` for ``which="ata"``
+        (the CGNR/least-squares operator) or ``A A^T`` for ``"aat"``
+        (CGNE) — computed once through the sparse×sparse product
+        :func:`repro.blas.api.spgemm` and cached on the context, so a
+        solver that iterates on the normal operator pays the symbolic +
+        numeric passes a single time.  Keyword arguments (``out_format``,
+        ``tier``) are forwarded to ``spgemm`` on the first call of each
+        ``which``."""
+        if which not in ("ata", "aat"):
+            raise ValueError(f"which must be 'ata' or 'aat', got {which!r}")
+        got = self._normal.get(which)
+        if got is None:
+            with INSTR.phase("solver.normal"):
+                rows, cols, vals = self.A.to_coo_arrays()
+                At = CsrMatrix.from_coo(cols, rows, vals,
+                                        (self.A.ncols, self.A.nrows))
+                if which == "ata":
+                    got = blas_api.spgemm(At, self.A, **spgemm_kwargs)
+                else:
+                    got = blas_api.spgemm(self.A, At, **spgemm_kwargs)
+            self._normal[which] = got
+        return got
+
     # -- bound operations -------------------------------------------------
     def matvec(self, x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """``out = A x`` through the bound kernel (``out`` defaults to the
@@ -378,6 +405,10 @@ class SolverContext:
         reused ``(nrows, k)`` workspace, (re)allocated only when the panel
         width changes — pass an explicit buffer when the result must
         survive the next matmat."""
+        if X.shape[1] == 0:
+            # k = 0: nothing to compute — hand back an empty panel without
+            # evicting the width-keyed workspace for a degenerate width
+            return np.zeros((self.A.nrows, 0)) if out is None else out
         if out is None:
             k = X.shape[1]
             if self._Y2 is None or self._Y2.shape[1] != k:
@@ -390,6 +421,8 @@ class SolverContext:
 
     def matmat_t(self, X: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
         """``out = A^T X`` through the bound ``spmm_t`` kernel."""
+        if X.shape[1] == 0:
+            return np.zeros((self.A.ncols, 0)) if out is None else out
         if out is None:
             k = X.shape[1]
             if self._Y2t is None or self._Y2t.shape[1] != k:

@@ -237,3 +237,89 @@ class TestOutputDtype:
         for fmt in ALL:
             kwargs = {"block_size": 1} if fmt == "bsr" else {}
             assert as_format(dense_a, fmt, **kwargs).dtype == np.float64
+
+
+class TestPanelAndOutputGuards:
+    """Shape/dtype hardening of the multi-matrix surface (regressions: a
+    1-D X hit a raw IndexError, a mis-sized panel computed garbage
+    silently, and integer/narrow caller outputs truncated products)."""
+
+    def test_mm_rejects_1d_x(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match=r"mm: X must be a 2-D panel"):
+            mm(f, rng.random(9))
+
+    def test_mm_t_rejects_1d_x(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match=r"mm_t: X must be a 2-D panel"):
+            mm_t(f, rng.random(7))
+
+    def test_mm_rejects_row_mismatch(self, dense_a, rng):
+        # A is 7x9 so the panel needs 9 rows; both shapes must be named
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match=r"7x9.*9 rows.*\(5, 2\)"):
+            mm(f, rng.random((5, 2)))
+
+    def test_mm_t_rejects_row_mismatch(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match=r"needs 7 rows"):
+            mm_t(f, rng.random((9, 2)))
+
+    def test_mm_rejects_wrong_out_shape(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match=r"shape \(7, 3\), expected \(7, 2\)"):
+            mm(f, rng.random((9, 2)), np.zeros((7, 3)))
+
+    def test_mvm_rejects_integer_out(self, dense_a, rng):
+        # float64 products into an int64 y used to truncate silently
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match="would truncate"):
+            mvm(f, rng.random(9), np.zeros(7, dtype=np.int64))
+
+    def test_mm_rejects_lossy_out(self, dense_a, rng):
+        f = as_format(dense_a, "csr")
+        with pytest.raises(ValueError, match="would truncate"):
+            mm(f, rng.random((9, 2)), np.zeros((7, 2), dtype=np.float32))
+        with pytest.raises(ValueError, match="would truncate"):
+            mm(f, rng.random((9, 2)), np.zeros((7, 2), dtype=np.int64))
+
+    def test_mm_float32_out_accepted_for_float32_operands(self, dense_a, rng):
+        a = as_format(dense_a, "csr")
+        a.values = a.values.astype(np.float32)
+        X = rng.random((9, 2)).astype(np.float32)
+        Y = np.zeros((7, 2), dtype=np.float32)
+        assert mm(a, X, Y) is Y
+
+    def test_mm_empty_panel(self, dense_a):
+        # k = 0: a (9, 0) panel produces a (7, 0) result, no dispatch
+        f = as_format(dense_a, "csr")
+        Y = mm(f, np.zeros((9, 0)))
+        assert Y.shape == (7, 0)
+        Yt = mm_t(f, np.zeros((7, 0)))
+        assert Yt.shape == (9, 0)
+
+    def test_ts_solve_promotes_integer_b(self, lower):
+        # an int b used to floor every quotient in the copy path
+        f = as_format(lower, "csr")
+        b = np.arange(1, 10, dtype=np.int64)
+        x = ts_lower_solve(f, b)
+        assert x.dtype == np.float64
+        assert np.allclose(lower.to_dense() @ x, b)
+        assert b.dtype == np.int64          # caller's array untouched
+
+    def test_ts_solve_in_place_rejects_integer_b(self, lower, upper):
+        fl = as_format(lower, "csr")
+        fu = as_format(upper, "csr")
+        with pytest.raises(ValueError, match="in-place solve writes"):
+            ts_lower_solve(fl, np.arange(1, 10, dtype=np.int64),
+                           in_place=True)
+        with pytest.raises(ValueError, match="in-place solve writes"):
+            ts_upper_solve(fu, np.arange(1, 10, dtype=np.int64),
+                           in_place=True)
+
+    def test_ts_upper_promotes_integer_b(self, upper):
+        f = as_format(upper, "csr")
+        b = np.arange(1, 10, dtype=np.int64)
+        x = ts_upper_solve(f, b)
+        assert x.dtype == np.float64
+        assert np.allclose(upper.to_dense() @ x, b)

@@ -466,3 +466,38 @@ class TestResolveMatvec:
         got_A, mv = resolve_matvec(ctx, None, None)
         assert got_A is ctx.A
         assert mv == ctx.matvec
+
+
+class TestMatmatEmptyPanel:
+    """k = 0 panels: a fresh (m, 0) result, and no eviction of the
+    width-keyed workspace for a degenerate width."""
+
+    def test_matmat_k0(self, spd, spd_dense, b25):
+        ctx = _ctx(spd, ops=("spmm", "spmm_t"))
+        X = np.stack([b25, 2.0 * b25], axis=1)
+        Y = ctx.matmat(X)                      # primes the k=2 workspace
+        assert np.allclose(Y, spd_dense @ X)
+        ws = ctx._Y2
+        Z = ctx.matmat(np.zeros((25, 0)))
+        assert Z.shape == (25, 0)
+        assert ctx._Y2 is ws                   # workspace untouched
+        Zt = ctx.matmat_t(np.zeros((25, 0)))
+        assert Zt.shape == (25, 0)
+        # caller buffer passes straight through
+        buf = np.zeros((25, 0))
+        assert ctx.matmat(np.zeros((25, 0)), buf) is buf
+
+
+class TestNormalProducts:
+    def test_normal_ata_cached(self, spd, spd_dense):
+        ctx = _ctx(spd, ops=("mvm",))
+        ata = ctx.normal("ata")
+        assert np.allclose(ata.to_dense(), spd_dense.T @ spd_dense)
+        assert ctx.normal("ata") is ata
+        aat = ctx.normal("aat")
+        assert np.allclose(aat.to_dense(), spd_dense @ spd_dense.T)
+
+    def test_normal_out_format_forwarded(self, spd):
+        ctx = _ctx(spd, ops=("mvm",))
+        got = ctx.normal("ata", out_format="csc")
+        assert got.format_name == "csc"

@@ -212,6 +212,24 @@ def test_spmm_duplicate_coo_triples(backend):
     assert np.array_equal(Y, dense_ref.mm(dense, X))
 
 
+def test_spmm_empty_panel_k0():
+    """k = 0 through the functional API: a (n, 0) panel yields a (m, 0)
+    result from every tier (regression: the kernel path was invoked with
+    a zero-width panel and a degenerate workspace could be cached)."""
+    from repro.blas import api as blas_api
+
+    dense = np.zeros((M, N))
+    dense[2, 3] = 5.0
+    f = build("csr", dense)
+    Y = blas_api.mm(f, np.zeros((N, 0)))
+    assert Y.shape == (M, 0)
+    Yt = blas_api.mm_t(f, np.zeros((M, 0)))
+    assert Yt.shape == (N, 0)
+    # caller-provided (m, 0) buffer is returned as-is
+    buf = np.zeros((M, 0))
+    assert blas_api.mm(f, np.zeros((N, 0)), buf) is buf
+
+
 @pytest.mark.skipif(be.find_compiler() is None,
                     reason="no C compiler on PATH")
 @pytest.mark.parametrize("order", ["fortran", "strided"])
