@@ -1,0 +1,88 @@
+"""Shared benchmark-script plumbing: argparse boilerplate, the best-of
+timer, trajectory-file validation, and toolchain-stamped recording.
+
+Every ``bench_*.py`` script repeats the same skeleton — a parser with
+``--n`` / ``--backend`` / ``--repeats`` / ``--check``, a best-of-N timing
+loop, a :func:`benchmarks.conftest.record_bench` append, and a JSON
+sanity pass over the trajectory file.  This module is that skeleton,
+factored once.  Every recorded entry is stamped (in ``record_bench``)
+with :func:`benchmarks.conftest.toolchain_info` — compiler identity plus
+the OpenMP and SIMD probe results — so a BENCH_*.json row is
+interpretable after the fact ("was this timing native? which gcc? did
+-fopenmp-simd exist?") without re-running the probe on the original
+machine.
+
+Scripts still bootstrap ``sys.path`` themselves (they run as
+``__main__`` from anywhere, so the repo root must be importable *before*
+``benchmarks._cli`` can be), then::
+
+    from benchmarks._cli import base_parser, best_of, check_json, record
+
+    def main(argv=None):
+        ap = base_parser(__doc__, n=10000)
+        ap.add_argument("--fmt", default="csr")
+        args = ap.parse_args(argv)
+        ...
+        record(BENCH_FILE, "family/case", seconds, flops=..., n=...)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import time
+from typing import Optional
+
+from benchmarks.conftest import record_bench, toolchain_info  # noqa: F401
+
+#: repo root — BENCH_*.json trajectory files live next to README.md
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def base_parser(doc: Optional[str], n: int = 10000, repeats: int = 5,
+                backend: bool = True) -> argparse.ArgumentParser:
+    """The common benchmark CLI: ``--n``, ``--repeats``, ``--check``, and
+    (unless ``backend=False``) ``--backend``.  ``doc`` is the calling
+    module's docstring; its first line becomes the description.  Scripts
+    add their own flags on the returned parser."""
+    ap = argparse.ArgumentParser(
+        description=(doc or "").strip().splitlines()[0] if doc else None)
+    ap.add_argument("--n", type=int, default=n,
+                    help=f"problem-size knob (default {n})")
+    ap.add_argument("--repeats", type=int, default=repeats,
+                    help="best-of repeats per timing")
+    if backend:
+        ap.add_argument("--backend", default="c", choices=("c", "python"))
+    ap.add_argument("--check", action="store_true",
+                    help="CI smoke: validate the trajectory file and fail "
+                         "unless the script's perf floor holds")
+    return ap
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` calls."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+#: every entry is toolchain-stamped inside record_bench itself; the alias
+#: keeps bench scripts on one import
+record = record_bench
+
+
+def check_json(bench_file: str) -> int:
+    """The trajectory file parses, is a non-empty list, and every record
+    carries the minimal shape.  Returns the record count."""
+    path = os.path.join(REPO_ROOT, bench_file)
+    with open(path) as f:
+        entries = json.load(f)
+    assert isinstance(entries, list) and entries, "empty trajectory"
+    for e in entries:
+        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
+    return len(entries)

@@ -26,8 +26,6 @@ list of records.
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 import time
@@ -40,7 +38,7 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
 
 import numpy as np  # noqa: E402
 
-from benchmarks.conftest import record_bench  # noqa: E402
+from benchmarks._cli import base_parser, check_json, record  # noqa: E402
 from repro.core.cache import clear_compile_cache  # noqa: E402
 from repro.core.compiler import infer_param_values  # noqa: E402
 from repro.formats.generate import (  # noqa: E402
@@ -121,14 +119,14 @@ def run_family(name, gen, program, backend, repeats):
 
     win = t_auto <= t_model * WIN_TOLERANCE
     warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
-    record_bench(BENCH_FILE, f"autotune/{name}/model-pick", t_model,
+    record(BENCH_FILE, f"autotune/{name}/model-pick", t_model,
                  fmt=model_fmt, backend=backend)
-    record_bench(BENCH_FILE, f"autotune/{name}/auto-pick", t_auto,
+    record(BENCH_FILE, f"autotune/{name}/auto-pick", t_auto,
                  fmt=auto_fmt, backend=backend, win=bool(win),
                  speedup=t_model / t_auto if t_auto > 0 else float("inf"))
-    record_bench(BENCH_FILE, f"autotune/{name}/cold-select", t_cold,
+    record(BENCH_FILE, f"autotune/{name}/cold-select", t_cold,
                  backend=backend)
-    record_bench(BENCH_FILE, f"autotune/{name}/warm-select", t_warm,
+    record(BENCH_FILE, f"autotune/{name}/warm-select", t_warm,
                  backend=backend, cached=bool(res_warm.cached),
                  microbench_runs=warm_runs, speedup=warm_speedup)
     print(f"  {name:9s} model {model_fmt:4s} {t_model * 1e3:8.3f} ms   "
@@ -140,27 +138,8 @@ def run_family(name, gen, program, backend, repeats):
             "warm_runs": warm_runs, "warm_cached": bool(res_warm.cached)}
 
 
-def check_json():
-    path = os.path.join(_ROOT, BENCH_FILE)
-    with open(path) as f:
-        entries = json.load(f)
-    assert isinstance(entries, list) and entries, "empty trajectory"
-    for e in entries:
-        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
-    return len(entries)
-
-
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, default=10000,
-                    help="matrix dimension per family")
-    ap.add_argument("--backend", default="c", choices=("c", "python"))
-    ap.add_argument("--repeats", type=int, default=3,
-                    help="best-of repeats per timing")
-    ap.add_argument("--check", action="store_true",
-                    help="CI smoke: fail unless auto wins >= 4/5 families, "
-                         "the warm path clears its speedup floor, and warm "
-                         "selection runs zero micro-benchmarks")
+    ap = base_parser(__doc__, n=10000, repeats=3)
     args = ap.parse_args(argv)
 
     program = mvm()
@@ -168,7 +147,7 @@ def main(argv=None):
     clear_winner_cache()
     results = [run_family(name, gen, program, args.backend, args.repeats)
                for name, gen in families(args.n).items()]
-    n_entries = check_json()
+    n_entries = check_json(BENCH_FILE)
     print(f"  {BENCH_FILE}: {n_entries} records")
 
     wins = sum(1 for r in results if r["win"])

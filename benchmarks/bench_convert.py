@@ -28,9 +28,6 @@ below), and the JSON trajectory is a well-formed list of records.
 
 from __future__ import annotations
 
-import argparse
-import json
-import math
 import os
 import sys
 import time
@@ -43,7 +40,8 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
 
 import numpy as np  # noqa: E402
 
-from benchmarks.conftest import record_bench, reference_data_plane  # noqa: E402
+from benchmarks._cli import base_parser, best_of, check_json, record  # noqa: E402
+from benchmarks.conftest import reference_data_plane  # noqa: E402
 from repro.formats import convert  # noqa: E402
 from repro.formats.base import coo_dedup_sort  # noqa: E402
 from repro.formats.convert import FORMATS  # noqa: E402
@@ -55,15 +53,6 @@ from repro.solvers.context import (  # noqa: E402
 )
 
 BENCH_FILE = "BENCH_convert.json"
-
-
-def _best_of(fn, repeats):
-    best, out = math.inf, None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
 
 
 def _matrices(n):
@@ -114,12 +103,12 @@ def run(n, repeats):
     comparisons = []
 
     def compare(label, vec_fn, ref_fn, nnz):
-        t_vec, _ = _best_of(vec_fn, repeats)
+        t_vec = best_of(vec_fn, repeats)
         t0 = time.perf_counter()
         ref_fn()
         t_ref = time.perf_counter() - t0
         speedup = t_ref / t_vec if t_vec > 0 else float("inf")
-        record_bench(BENCH_FILE, label, t_vec, n=n, nnz=int(nnz),
+        record(BENCH_FILE, label, t_vec, n=n, nnz=int(nnz),
                      reference_seconds=t_ref, speedup=speedup)
         print(f"  {label:34s} loops {t_ref * 1e3:9.2f} ms   "
               f"vectorized {t_vec * 1e3:9.2f} ms   {speedup:8.1f}x")
@@ -162,30 +151,13 @@ def run(n, repeats):
     return comparisons
 
 
-def check_json():
-    path = os.path.join(_ROOT, BENCH_FILE)
-    with open(path) as f:
-        entries = json.load(f)
-    assert isinstance(entries, list) and entries, "empty trajectory"
-    for e in entries:
-        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
-    return len(entries)
-
-
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, default=10000,
-                    help="matrix dimension")
-    ap.add_argument("--repeats", type=int, default=3,
-                    help="best-of repeats for the vectorized leg")
-    ap.add_argument("--check", action="store_true",
-                    help="CI smoke: fail unless every comparison speeds "
-                         "up and the JSON trajectory is well-formed")
+    ap = base_parser(__doc__, n=10000, repeats=3, backend=False)
     args = ap.parse_args(argv)
 
     print(f"data-plane benchmark: n={args.n}")
     comparisons = run(args.n, args.repeats)
-    n_entries = check_json()
+    n_entries = check_json(BENCH_FILE)
     print(f"  {BENCH_FILE}: {n_entries} records")
 
     if args.check:

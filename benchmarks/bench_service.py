@@ -26,8 +26,6 @@ beats cold p50, and the JSON file is a well-formed list of records.
 
 from __future__ import annotations
 
-import argparse
-import json
 import os
 import sys
 import threading
@@ -39,7 +37,7 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
     if p not in sys.path:
         sys.path.insert(0, p)
 
-from benchmarks.conftest import record_bench  # noqa: E402
+from benchmarks._cli import base_parser, check_json, record  # noqa: E402
 from repro.core import backend as be  # noqa: E402
 from repro.core.cache import clear_compile_cache  # noqa: E402
 from repro.core.client import ServiceClient  # noqa: E402
@@ -158,19 +156,14 @@ def run_level(n_clients: int, per_client: int, base_n: int, backend: str):
 
 
 def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap = base_parser(__doc__, n=12, repeats=1, backend=False)
     ap.add_argument("--clients", default="1,8,64",
                     help="comma-separated concurrency levels (default 1,8,64)")
     ap.add_argument("--requests", type=int, default=4,
                     help="requests per client per pass (default 4)")
-    ap.add_argument("--n", type=int, default=12,
-                    help="base matrix size; request i uses n+i (default 12)")
     ap.add_argument("--backend", default="auto",
                     choices=["auto", "python", "c"],
                     help="backend option sent with every request")
-    ap.add_argument("--check", action="store_true",
-                    help="CI smoke: fail unless warm pass is pipeline-free "
-                         "and faster, and the JSON file is well-formed")
     args = ap.parse_args(argv)
 
     levels = [int(c) for c in args.clients.split(",") if c.strip()]
@@ -179,7 +172,7 @@ def main(argv=None) -> int:
         res = run_level(n_clients, args.requests, args.n, args.backend)
         for pass_name in ("cold", "warm"):
             p = res[pass_name]
-            record_bench(
+            record(
                 BENCH_FILE,
                 f"service-{pass_name}-c{n_clients}",
                 p["wall_seconds"],
@@ -220,12 +213,9 @@ def main(argv=None) -> int:
 
     if args.check:
         try:
-            with open(os.path.join(_ROOT, BENCH_FILE)) as f:
-                entries = json.load(f)
-            if not isinstance(entries, list) or not entries:
-                failures.append(f"{BENCH_FILE} is not a non-empty list")
-        except (OSError, ValueError) as e:
-            failures.append(f"{BENCH_FILE} unreadable: {e}")
+            check_json(BENCH_FILE)
+        except (OSError, ValueError, AssertionError) as e:
+            failures.append(f"{BENCH_FILE} invalid: {e}")
         if failures:
             print("[bench_service] CHECK FAILED", file=sys.stderr)
             for f_ in failures:

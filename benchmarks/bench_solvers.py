@@ -20,8 +20,6 @@ file is a well-formed list of records.
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
 import os
 import sys
@@ -35,7 +33,8 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
 
 import numpy as np  # noqa: E402
 
-from benchmarks.conftest import record_bench, reference_data_plane  # noqa: E402
+from benchmarks._cli import base_parser, best_of, check_json, record  # noqa: E402
+from benchmarks.conftest import reference_data_plane  # noqa: E402
 from repro.formats import as_format  # noqa: E402
 from repro.formats.generate import laplacian_2d  # noqa: E402
 from repro.solvers import SolverContext, bicgstab, cg, jacobi  # noqa: E402
@@ -47,15 +46,6 @@ SOLVERS = {
     "bicgstab": bicgstab,
     "jacobi": jacobi,
 }
-
-
-def _best_of(fn, repeats):
-    best = math.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def measure_setup(m, fmt, backend, repeats):
@@ -71,7 +61,7 @@ def measure_setup(m, fmt, backend, repeats):
                              register=False)
 
     build()  # warm the compile cache
-    t_vec = _best_of(build, repeats)
+    t_vec = best_of(build, repeats)
     with reference_data_plane():
         t0 = time.perf_counter()
         build()
@@ -93,7 +83,7 @@ def run(n, iters, backend, fmt, repeats):
 
     setup_vec, setup_ref = measure_setup(m, fmt, backend, repeats)
     setup_speedup = setup_ref / setup_vec if setup_vec > 0 else float("inf")
-    record_bench(BENCH_FILE, f"solver/setup/{fmt}", setup_vec, n=n_actual,
+    record(BENCH_FILE, f"solver/setup/{fmt}", setup_vec, n=n_actual,
                  reference_seconds=setup_ref, speedup=setup_speedup,
                  backend=backend)
     print(f"  setup (conv + split, warm cache): loops "
@@ -108,8 +98,8 @@ def run(n, iters, backend, fmt, repeats):
         if not np.allclose(x_sq, x_cx, atol=1e-8, rtol=1e-8):
             raise AssertionError(f"{name}: context iterates diverged "
                                  f"from the status-quo path")
-        t_sq = _best_of(lambda: solver(A_plain, b, **kw), repeats)
-        t_cx = _best_of(lambda: solver(ctx, b, **kw), repeats)
+        t_sq = best_of(lambda: solver(A_plain, b, **kw), repeats)
+        t_cx = best_of(lambda: solver(ctx, b, **kw), repeats)
         results.append((name, t_sq, t_cx))
         for label, secs, extra in (
             (f"solver/{name}/{fmt}/status-quo", t_sq, {}),
@@ -117,7 +107,7 @@ def run(n, iters, backend, fmt, repeats):
              {"backend": ctx.backends["mvm"], "speedup": t_sq / t_cx,
               "setup_seconds": setup}),
         ):
-            record_bench(BENCH_FILE, label, secs, n=n_actual,
+            record(BENCH_FILE, label, secs, n=n_actual,
                          iters=iters, **extra)
         print(f"  {name:9s} status-quo {t_sq * 1e3:9.2f} ms   "
               f"context {t_cx * 1e3:9.2f} ms   "
@@ -127,36 +117,18 @@ def run(n, iters, backend, fmt, repeats):
     return results, setup_speedup
 
 
-def check_json():
-    path = os.path.join(_ROOT, BENCH_FILE)
-    with open(path) as f:
-        entries = json.load(f)
-    assert isinstance(entries, list) and entries, "empty trajectory"
-    for e in entries:
-        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
-    return len(entries)
-
-
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, default=10000,
-                    help="target matrix dimension (rounded to a square)")
+    ap = base_parser(__doc__, n=10000, repeats=3)
     ap.add_argument("--iters", type=int, default=100,
                     help="fixed iteration budget per solve")
-    ap.add_argument("--backend", default="c", choices=("c", "python"))
     ap.add_argument("--fmt", default="csr")
-    ap.add_argument("--repeats", type=int, default=3,
-                    help="best-of repeats per timing")
-    ap.add_argument("--check", action="store_true",
-                    help="CI smoke: fail unless the context path is no "
-                         "slower and the JSON trajectory is well-formed")
     args = ap.parse_args(argv)
 
     print(f"solver benchmark: n~{args.n}, {args.iters} iters, "
           f"backend={args.backend}, fmt={args.fmt}")
     results, setup_speedup = run(args.n, args.iters, args.backend, args.fmt,
                                  args.repeats)
-    n_entries = check_json()
+    n_entries = check_json(BENCH_FILE)
     print(f"  {BENCH_FILE}: {n_entries} records")
 
     if args.check:

@@ -3,6 +3,8 @@
 ``C = A A`` with A the 5-point Laplacian — the canonical computed-output
 product (tridiagonal-block squared is pentadiagonal-block).  Timed tiers:
 
+- ``native``: the compiled two-pass Gustavson kernel
+  (:mod:`repro.blas.spgemm_native`; silently absent without a toolchain);
 - ``vectorized``: the scipy-free NumPy expand-sort-reduce CSR×CSR path;
 - ``specialized-dense`` / ``specialized-hash``: the two-pass row-wise
   kernel with dense-marker and hash accumulators;
@@ -26,12 +28,9 @@ and the JSON file is a well-formed list of records.
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
 import os
 import sys
-import time
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
@@ -41,23 +40,13 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
 
 import numpy as np  # noqa: E402
 
-from benchmarks.conftest import record_bench  # noqa: E402
+from benchmarks._cli import base_parser, best_of, check_json, record  # noqa: E402
 from repro.blas import dense_ref, specialized  # noqa: E402
 from repro.blas.api import spgemm  # noqa: E402
 from repro.formats import as_format  # noqa: E402
 from repro.formats.generate import laplacian_2d  # noqa: E402
 
 BENCH_FILE = "BENCH_spgemm.json"
-
-
-def _best_of(fn, repeats):
-    best = math.inf
-    out = None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, out
 
 
 def run(n, repeats):
@@ -67,6 +56,7 @@ def run(n, repeats):
     n_actual, nnz = A.nrows, A.nnz
 
     tiers = {
+        "native": lambda: spgemm(A, A, tier="native"),
         "vectorized": lambda: spgemm(A, A, tier="vectorized"),
         "specialized-dense":
             lambda: specialized.spgemm_csr_csr(A, A, accumulator="dense"),
@@ -77,7 +67,8 @@ def run(n, repeats):
     times = {}
     products = {}
     for tier, fn in tiers.items():
-        times[tier], products[tier] = _best_of(fn, repeats)
+        products[tier] = fn()
+        times[tier] = best_of(fn, repeats)
 
     # byte-identity cross-check across all tiers (and, at small sizes,
     # against the dense oracle)
@@ -95,7 +86,7 @@ def run(n, repeats):
     nmults = int((A.rowptr[A.colind + 1] - A.rowptr[A.colind]).sum())
     flops = dense_ref.flops_spgemm(nmults)
     for tier, secs in times.items():
-        record_bench(BENCH_FILE, f"spgemm/laplacian2d/{tier}", secs,
+        record(BENCH_FILE, f"spgemm/laplacian2d/{tier}", secs,
                      flops=flops, n=n_actual, nnz=nnz, nnz_out=Cref.nnz,
                      nmults=nmults,
                      speedup=times["generic"] / secs if secs > 0
@@ -107,30 +98,13 @@ def run(n, repeats):
     return times
 
 
-def check_json():
-    path = os.path.join(_ROOT, BENCH_FILE)
-    with open(path) as f:
-        entries = json.load(f)
-    assert isinstance(entries, list) and entries, "empty trajectory"
-    for e in entries:
-        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
-    return len(entries)
-
-
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, default=10000,
-                    help="target matrix dimension (rounded to a square)")
-    ap.add_argument("--repeats", type=int, default=5,
-                    help="best-of repeats per timing")
-    ap.add_argument("--check", action="store_true",
-                    help="CI smoke: fail unless the vectorized tier clears "
-                         "its floor vs the generic enumeration")
+    ap = base_parser(__doc__, n=10000, repeats=5, backend=False)
     args = ap.parse_args(argv)
 
     print(f"spgemm benchmark: n~{args.n}, C = A A on the 2-D Laplacian")
     times = run(args.n, args.repeats)
-    n_entries = check_json()
+    n_entries = check_json(BENCH_FILE)
     print(f"  {BENCH_FILE}: {n_entries} records")
 
     if args.check:

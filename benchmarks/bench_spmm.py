@@ -23,12 +23,9 @@ well-formed list of records.
 
 from __future__ import annotations
 
-import argparse
-import json
 import math
 import os
 import sys
-import time
 
 _HERE = os.path.dirname(os.path.abspath(__file__))
 _ROOT = os.path.dirname(_HERE)
@@ -38,7 +35,7 @@ for p in (_ROOT, os.path.join(_ROOT, "src")):
 
 import numpy as np  # noqa: E402
 
-from benchmarks.conftest import record_bench  # noqa: E402
+from benchmarks._cli import base_parser, best_of, check_json, record  # noqa: E402
 from repro.blas import dense_ref  # noqa: E402
 from repro.formats import as_format  # noqa: E402
 from repro.formats.generate import laplacian_2d  # noqa: E402
@@ -47,15 +44,6 @@ from repro.solvers import SolverContext  # noqa: E402
 BENCH_FILE = "BENCH_spmm.json"
 WIDTHS = (1, 4, 16, 64)
 CHECK_WIDTH = 16
-
-
-def _best_of(fn, repeats):
-    best = math.inf
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def run(n, backend, fmt, repeats):
@@ -89,14 +77,14 @@ def run(n, backend, fmt, repeats):
         if dense is not None and not np.allclose(Y, dense_ref.mm(dense, X)):
             raise AssertionError(f"k={k}: matvec loop diverged from the oracle")
 
-        t_mm = _best_of(spmm_once, repeats)
-        t_mv = _best_of(matvec_loop, repeats)
+        t_mm = best_of(spmm_once, repeats)
+        t_mv = best_of(matvec_loop, repeats)
         results[k] = (t_mm, t_mv)
         flops = dense_ref.flops_mm(nnz, k)
-        record_bench(BENCH_FILE, f"spmm/{fmt}/k{k}/spmm", t_mm, flops=flops,
+        record(BENCH_FILE, f"spmm/{fmt}/k{k}/spmm", t_mm, flops=flops,
                      n=n_actual, k=k, nnz=nnz,
                      backend=ctx.backends["spmm"])
-        record_bench(BENCH_FILE, f"spmm/{fmt}/k{k}/matvec-loop", t_mv,
+        record(BENCH_FILE, f"spmm/{fmt}/k{k}/matvec-loop", t_mv,
                      flops=flops, n=n_actual, k=k, nnz=nnz,
                      backend=ctx.backends["mvm"],
                      speedup=t_mv / t_mm if t_mm > 0 else float("inf"))
@@ -107,33 +95,15 @@ def run(n, backend, fmt, repeats):
     return results, ctx.backends
 
 
-def check_json():
-    path = os.path.join(_ROOT, BENCH_FILE)
-    with open(path) as f:
-        entries = json.load(f)
-    assert isinstance(entries, list) and entries, "empty trajectory"
-    for e in entries:
-        assert {"timestamp", "label", "seconds"} <= set(e), f"malformed: {e}"
-    return len(entries)
-
-
 def main(argv=None):
-    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--n", type=int, default=10000,
-                    help="target matrix dimension (rounded to a square)")
-    ap.add_argument("--backend", default="c", choices=("c", "python"))
+    ap = base_parser(__doc__, n=10000, repeats=5)
     ap.add_argument("--fmt", default="csr")
-    ap.add_argument("--repeats", type=int, default=5,
-                    help="best-of repeats per timing")
-    ap.add_argument("--check", action="store_true",
-                    help="CI smoke: fail unless SpMM clears its floor vs "
-                         "the matvec loop at k=16")
     args = ap.parse_args(argv)
 
     print(f"spmm benchmark: n~{args.n}, k in {WIDTHS}, "
           f"backend={args.backend}, fmt={args.fmt}")
     results, backends = run(args.n, args.backend, args.fmt, args.repeats)
-    n_entries = check_json()
+    n_entries = check_json(BENCH_FILE)
     print(f"  {BENCH_FILE}: {n_entries} records")
 
     if args.check:

@@ -105,14 +105,38 @@ def rng():
 #: repo root — BENCH_*.json trajectory files live next to README.md
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
+_toolchain_info = None
+
+
+def toolchain_info() -> dict:
+    """Identity and capabilities of the native toolchain, probed once per
+    process (the probes are memoized in :mod:`repro.core.backend`):
+    ``{"cc", "cc_identity", "openmp", "simd"}`` — None/False throughout
+    when no compiler is available."""
+    global _toolchain_info
+    if _toolchain_info is None:
+        from repro.core import backend as be
+
+        cc = be.find_compiler()
+        _toolchain_info = {
+            "cc": cc,
+            "cc_identity": be.compiler_identity(cc) if cc else None,
+            "openmp": be.openmp_supported(cc) if cc else False,
+            "simd": be.simd_supported(cc) if cc else False,
+        }
+    return _toolchain_info
+
 
 def record_bench(bench_file: str, label: str, seconds: float,
                  flops: int = 0, **extra) -> None:
     """Append one timing entry to a ``BENCH_*.json`` trajectory file.
 
     The file holds a JSON list of run records; each benchmark run appends
-    so the perf trajectory accumulates across sessions.  A missing or
-    corrupt file restarts the list rather than failing the benchmark.
+    so the perf trajectory accumulates across sessions.  Every record is
+    stamped with :func:`toolchain_info`, so a timing row stays
+    interpretable (native or not? which compiler?) off the original
+    machine.  A missing or corrupt file restarts the list rather than
+    failing the benchmark.
     """
     path = os.path.join(_REPO_ROOT, bench_file)
     entries = []
@@ -128,6 +152,7 @@ def record_bench(bench_file: str, label: str, seconds: float,
         "label": label,
         "seconds": seconds,
         "n": BENCH_N,
+        "toolchain": toolchain_info(),
     }
     if flops:
         rec["flops"] = flops

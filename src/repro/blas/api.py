@@ -212,9 +212,14 @@ def ts_upper_solve(U: SparseFormat, b: np.ndarray, in_place: bool = False) -> np
 #    the output row pointer, numeric pass fills colind/values through a
 #    dense or hash accumulator);
 # 3. generic enumeration over any format pair via ``iter_nonzeros`` + COO
-#    dedup into the ``_from_canonical_coo`` construction core.
+#    dedup into the ``_from_canonical_coo`` construction core;
+# 4. a native-C Gustavson two-pass kernel for CSR×CSR
+#    (:mod:`repro.blas.spgemm_native`) — requested with ``tier="native"``
+#    and falling back to the vectorized tier observably
+#    (``spgemm.tier.native_fallbacks`` + NativeBackendWarning) when no
+#    toolchain is available.
 #
-# All three tiers produce identical canonical output (sorted rows, sorted
+# All tiers produce identical canonical output (sorted rows, sorted
 # columns within rows, duplicates summed, cancelled zeros kept) — byte-
 # for-byte on integer data, which the differential wall pins.
 # ---------------------------------------------------------------------------
@@ -274,15 +279,39 @@ def spgemm_triples(A: SparseFormat, B: SparseFormat,
     :func:`spgemm`, exposed so callers that want a different packing (or
     just the pattern) skip the format construction.
 
-    ``tier`` forces a specific implementation (``"vectorized"`` /
-    ``"specialized"`` / ``"generic"``; the differential suite and the
-    benchmark compare them); None picks the fastest applicable."""
+    ``tier`` forces a specific implementation (``"native"`` /
+    ``"vectorized"`` / ``"specialized"`` / ``"generic"``; the
+    differential suite and the benchmark compare them); None picks the
+    fastest applicable.  The native tier needs CSR operands and a C
+    toolchain — with operands of another format it raises like the
+    vectorized tier, but a missing/failing toolchain falls back to the
+    vectorized tier *observably* (``spgemm.tier.native_fallbacks`` and a
+    :class:`~repro.core.backend.NativeBackendWarning`), mirroring the
+    compiled-kernel fallback contract."""
     _check_spgemm_operands(A, B)
     both_csr = type(A) is CsrMatrix and type(B) is CsrMatrix
     if tier is None:
         tier = "vectorized" if both_csr else (
             "specialized" if (A.format_name, B.format_name)
             in specialized.SPGEMM else "generic")
+    if tier == "native":
+        if not both_csr:
+            raise ValueError(
+                f"spgemm: the native tier needs CSR operands, got "
+                f"{A.format_name}x{B.format_name}")
+        from repro.blas import spgemm_native
+
+        try:
+            out = spgemm_native.spgemm_csr_csr_native(A, B)
+            INSTR.count("spgemm.tier.native")
+            return out
+        except Exception as e:
+            from repro.core.backend import native_fallback
+
+            INSTR.count("spgemm.tier.native_fallbacks")
+            native_fallback("toolchain", f"spgemm native tier: {e}")
+            INSTR.count("spgemm.tier.vectorized")
+            return _spgemm_csr_csr_vectorized(A, B)
     if tier == "vectorized":
         if not both_csr:
             raise ValueError(
@@ -308,8 +337,8 @@ def spgemm_triples(A: SparseFormat, B: SparseFormat,
         INSTR.count("spgemm.tier.generic")
         with INSTR.phase("spgemm.enumerate"):
             return generic_.spgemm_coo(A, B)
-    raise ValueError(f"tier must be 'vectorized', 'specialized' or "
-                     f"'generic', got {tier!r}")
+    raise ValueError(f"tier must be 'native', 'vectorized', 'specialized' "
+                     f"or 'generic', got {tier!r}")
 
 
 def spgemm(A: SparseFormat, B: SparseFormat,

@@ -1,0 +1,170 @@
+"""Native-C SpGEMM numeric phase: Gustavson's two-pass algorithm.
+
+The vectorized tier (:func:`repro.blas.api._spgemm_csr_csr_vectorized`)
+materializes every intermediate product and sorts them; this module lowers
+the classic row-wise dense-marker formulation to C instead — one pass to
+count the computed output pattern, one to accumulate values — compiled
+and cached through the same machinery as the lowered kernels
+(:func:`repro.core.backend.compile_native_function`: artifact digest,
+single-flight, disk layer).
+
+Byte-identity: per output entry, every tier produces ``0.0 + p1 + p2 +
+...`` with the products in (A-row position, B-row position) ascending
+order — the flat expand order of the vectorized tier, the accumulator
+order of the specialized tier, and the loop order here.  The marker array
+stamps ``phase * m + row`` so the symbolic pass's residue can never alias
+a numeric-pass row.  Columns are sorted within each row by an index-only
+shell sort; values are then gathered from the dense accumulator, so the
+sort never touches (or reorders the production of) floating-point data.
+
+A missing toolchain or failed compile raises; :func:`repro.blas.api`
+translates that into an observable fallback onto the vectorized tier.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import threading
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.instrument import INSTR
+
+C_SOURCE = """\
+#include <stdint.h>
+
+static void _sort_cols(int64_t *a, int64_t n) {
+    /* index-only shell sort (Ciura-ish gaps); rows are typically short */
+    static const int64_t gaps[] = {301, 132, 57, 23, 10, 4, 1};
+    for (int g = 0; g < 7; g++) {
+        int64_t gap = gaps[g];
+        if (gap >= n) continue;
+        for (int64_t i = gap; i < n; i++) {
+            int64_t v = a[i], j = i;
+            while (j >= gap && a[j - gap] > v) { a[j] = a[j - gap]; j -= gap; }
+            a[j] = v;
+        }
+    }
+}
+
+void kernel(int64_t phase, int64_t m, int64_t n,
+            const int64_t * restrict a_ptr,
+            const int64_t * restrict a_col,
+            const double * restrict a_val,
+            const int64_t * restrict b_ptr,
+            const int64_t * restrict b_col,
+            const double * restrict b_val,
+            int64_t * restrict marker,
+            int64_t * restrict c_ptr,
+            int64_t * restrict c_col,
+            double * restrict c_acc,
+            double * restrict c_val) {
+    if (phase == 0) {
+        /* symbolic: count distinct output columns per row */
+        for (int64_t i = 0; i < m; i++) {
+            int64_t count = 0;
+            for (int64_t jj = a_ptr[i]; jj < a_ptr[i + 1]; jj++) {
+                int64_t j = a_col[jj];
+                for (int64_t kk = b_ptr[j]; kk < b_ptr[j + 1]; kk++) {
+                    int64_t c = b_col[kk];
+                    if (marker[c] != i) { marker[c] = i; count++; }
+                }
+            }
+            c_ptr[i + 1] = count;
+        }
+        return;
+    }
+    /* numeric: accumulate through the dense marker, then sort columns */
+    for (int64_t i = 0; i < m; i++) {
+        int64_t stamp = m + i;          /* never collides with phase 0 */
+        int64_t lo = c_ptr[i], top = lo;
+        for (int64_t jj = a_ptr[i]; jj < a_ptr[i + 1]; jj++) {
+            int64_t j = a_col[jj];
+            double av = a_val[jj];
+            for (int64_t kk = b_ptr[j]; kk < b_ptr[j + 1]; kk++) {
+                int64_t c = b_col[kk];
+                if (marker[c] != stamp) {
+                    marker[c] = stamp;
+                    c_acc[c] = 0.0;
+                    c_col[top++] = c;
+                }
+                c_acc[c] = c_acc[c] + av * b_val[kk];
+            }
+        }
+        _sort_cols(c_col + lo, top - lo);
+        for (int64_t t = lo; t < top; t++) c_val[t] = c_acc[c_col[t]];
+    }
+}
+"""
+
+_P_I64 = ctypes.POINTER(ctypes.c_int64)
+_P_F64 = ctypes.POINTER(ctypes.c_double)
+
+_bound_fn = None
+_bind_lock = threading.Lock()
+
+
+def _bind(cache_mode: str = "memory"):
+    """Compile (or fetch from the artifact cache) and ctype-bind the
+    SpGEMM kernel.  Raises when no toolchain is available."""
+    global _bound_fn
+    with _bind_lock:
+        if _bound_fn is not None:
+            return _bound_fn
+        from repro.core import backend as be
+
+        fn, _ = be.compile_native_function(C_SOURCE, want_openmp=False,
+                                           cache_mode=cache_mode)
+        fn.argtypes = ([ctypes.c_int64] * 3
+                       + [ctypes.c_void_p] * 6
+                       + [ctypes.c_void_p] * 5)
+        fn.restype = None
+        _bound_fn = fn
+        return fn
+
+
+def reset_binding() -> None:
+    """Forget the bound kernel (test hook — pairs with
+    :func:`repro.core.backend.reset_toolchain_cache`)."""
+    global _bound_fn
+    with _bind_lock:
+        _bound_fn = None
+
+
+def spgemm_csr_csr_native(A, B, cache_mode: str = "memory"
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Canonical COO triples of ``C = A B`` for CSR×CSR via the native
+    two-pass kernel: ``(rows, cols, vals, nmults)``, byte-identical to
+    the vectorized tier.  Raises on toolchain absence or compile failure
+    (the caller decides the fallback)."""
+    fn = _bind(cache_mode)
+    m, n = A.nrows, B.ncols
+    a_ptr = np.ascontiguousarray(A.rowptr, dtype=np.int64)
+    a_col = np.ascontiguousarray(A.colind, dtype=np.int64)
+    a_val = np.ascontiguousarray(A.values, dtype=np.float64)
+    b_ptr = np.ascontiguousarray(B.rowptr, dtype=np.int64)
+    b_col = np.ascontiguousarray(B.colind, dtype=np.int64)
+    b_val = np.ascontiguousarray(B.values, dtype=np.float64)
+    marker = np.full(n, -1, dtype=np.int64)
+    c_ptr = np.zeros(m + 1, dtype=np.int64)
+    c_acc = np.zeros(n, dtype=np.float64)
+    empty_i = np.zeros(0, dtype=np.int64)
+    empty_d = np.zeros(0, dtype=np.float64)
+
+    def ptr(arr):
+        return ctypes.c_void_p(arr.ctypes.data)
+
+    base = (m, n, ptr(a_ptr), ptr(a_col), ptr(a_val),
+            ptr(b_ptr), ptr(b_col), ptr(b_val), ptr(marker), ptr(c_ptr))
+    with INSTR.phase("spgemm.symbolic"):
+        fn(0, *base, ptr(empty_i), ptr(c_acc), ptr(empty_d))
+        np.cumsum(c_ptr, out=c_ptr)
+    nnz = int(c_ptr[m])
+    c_col = np.zeros(nnz, dtype=np.int64)
+    c_val = np.zeros(nnz, dtype=np.float64)
+    with INSTR.phase("spgemm.numeric"):
+        fn(1, *base, ptr(c_col), ptr(c_acc), ptr(c_val))
+    rows = np.repeat(np.arange(m, dtype=np.int64), np.diff(c_ptr))
+    nmults = int((b_ptr[a_col + 1] - b_ptr[a_col]).sum()) if a_col.size else 0
+    return rows, c_col, c_val, nmults

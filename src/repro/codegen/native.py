@@ -23,6 +23,34 @@ reduction loops whose every store is a read-modify-write accumulation get
 the pragma plus ``#pragma omp atomic`` on each accumulation.  Loops the
 analysis cannot safely align with the emitted source stay sequential.
 
+Optimization tiers (``opt``): ``"none"`` emits the loops exactly as the
+Python kernel wrote them.  ``"tiled"`` applies three transforms that are
+*byte-identical* to the naive emission — every floating-point value is
+produced by the same operations in the same order, only integer control
+flow and memory scheduling change:
+
+- **strip-mine** — the outermost unit-step loop is cache-blocked into
+  row blocks of ``tile_rows`` iterations (``REPRO_TILE_ROWS``).
+- **guard_absorb** — an inner loop whose body is a single conjunctive
+  guard of affine ``±1``-coefficient conditions on the loop variable has
+  those conditions folded into hoisted ``_imax``/``_imin`` loop bounds
+  (the iterations removed executed nothing), and the loop bounds are
+  hoisted out of the per-iteration condition.  This is what lets the
+  compiler vectorize DIA-style diagonal loops.
+- **register_tile** — a sparse accumulation loop whose last statement is
+  an inner DOALL panel accumulation (the SpMM shape) is column-blocked:
+  the output panel is held in a fixed-width local accumulator across the
+  sparse loop and written back once per block.  Per output element the
+  accumulation order is unchanged.
+
+``"tiled"`` additionally marks proven per-iteration-distinct store loops
+with ``#pragma omp simd`` and qualifies pointer arguments ``restrict``
+(array arguments must not alias — the BLAS/solver layers never pass
+aliased operands).  Loops inside atomic regions and descending loops are
+left untouched.  ``"fast"`` emits the same code but is compiled with
+reassociation-permitting flags (see :mod:`repro.core.backend`), so it is
+validated by tolerance, not byte-identity.
+
 Constructs the C subset cannot express (gather-and-sort enumerations,
 the generic dynamic-runtime emitter, unsupported dtypes) raise
 :class:`NativeLoweringError`; the backend treats that as "fall back to
@@ -92,16 +120,22 @@ class ArgSpec:
 
 class NativeSpec:
     """A lowered kernel: the C translation unit, the ordered argument
-    specs, and whether any OpenMP pragma was emitted."""
+    specs, whether any OpenMP pragma was emitted, and which optimization
+    tier produced it (``transforms`` lists the loop transforms that
+    actually fired, e.g. ``["strip_mine", "guard_absorb"]``)."""
 
-    __slots__ = ("c_source", "args", "uses_openmp", "flavour")
+    __slots__ = ("c_source", "args", "uses_openmp", "flavour", "opt",
+                 "transforms")
 
     def __init__(self, c_source: str, args: List[ArgSpec], uses_openmp: bool,
-                 flavour: str):
+                 flavour: str, opt: str = "none",
+                 transforms: Optional[List[str]] = None):
         self.c_source = c_source
         self.args = args
         self.uses_openmp = uses_openmp
         self.flavour = flavour
+        self.opt = opt
+        self.transforms = list(transforms or [])
 
 
 # ---------------------------------------------------------------------------
@@ -209,10 +243,13 @@ def _helper_jad_find(ti: str, td: str, tc: str, tr: str) -> str:
 
 class _Lowerer:
     def __init__(self, py_source: str, bindings: Mapping[str, object],
-                 flavour: str, loop_flags: Optional[List[str]]):
+                 flavour: str, loop_flags: Optional[List[str]],
+                 opt: str = "none", tile_rows: int = 512):
         self.bindings = dict(bindings)
         self.flavour = flavour
         self.loop_flags = loop_flags
+        self.opt = opt
+        self.tile_rows = tile_rows
         self.args: List[ArgSpec] = []
         self.arrays: Dict[str, ArgSpec] = {}
         self.scalars: Dict[str, ArgSpec] = {}
@@ -224,6 +261,10 @@ class _Lowerer:
         self.parallel_depth = 0
         self.atomic_region = False
         self.uses_openmp = False
+        self.transforms: List[str] = []
+        self.rename: Dict[str, str] = {}        # loop-var substitutions
+        self.emit_depth = 0                     # emitted source-loop nesting
+        self._uid_counter = 0
 
         tree = ast.parse(py_source)
         fndef = next(
@@ -233,6 +274,7 @@ class _Lowerer:
             raise NativeLoweringError("no kernel function in generated source")
         self.body = self._parse_prologue(fndef.body)
         self._infer_dense_shapes(self.body)
+        self.written_arrays = self._stored_arrays(self.body)
         n_fors = sum(1 for _ in ast.walk(ast.Module(body=self.body,
                                                     type_ignores=[]))
                      if isinstance(_, ast.For))
@@ -338,6 +380,217 @@ class _Lowerer:
             if spec.ndim == -1:
                 spec.ndim = 1        # referenced but never subscripted
 
+    def _stored_arrays(self, body: Sequence[ast.stmt]) -> set:
+        mod = ast.Module(body=list(body), type_ignores=[])
+        out = set()
+        for node in ast.walk(mod):
+            if isinstance(node, ast.Assign):
+                tgt = node.targets[0]
+                if (isinstance(tgt, ast.Subscript)
+                        and isinstance(tgt.value, ast.Name)):
+                    out.add(tgt.value.id)
+        return out
+
+    # -- static analysis for the tiled tier -------------------------------
+
+    @staticmethod
+    def _names_in(node: ast.AST) -> set:
+        return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+    def _mentions_arrays(self, node: ast.AST, names: set) -> bool:
+        return bool(self._names_in(node) & names)
+
+    @staticmethod
+    def _assigned_names(stmts: Sequence[ast.stmt]) -> set:
+        """Names assigned anywhere inside ``stmts`` (scalar assignment
+        targets, augmented assignments, and for-loop variables)."""
+        mod = ast.Module(body=list(stmts), type_ignores=[])
+        out = set()
+        for node in ast.walk(mod):
+            if isinstance(node, ast.Assign):
+                for t in node.targets:
+                    if isinstance(t, ast.Name):
+                        out.add(t.id)
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    out.add(node.target.id)
+            elif isinstance(node, ast.For):
+                if isinstance(node.target, ast.Name):
+                    out.add(node.target.id)
+        return out
+
+    def _affine(self, node: ast.AST):
+        """Decompose an integer expression into ``({name: coeff}, const)``,
+        or None when it is not affine in plain scalar names."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(node.value, int):
+                return None
+            return {}, node.value
+        if isinstance(node, ast.Name):
+            if node.id in self.arrays:
+                return None
+            return {node.id: 1}, 0
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            sub = self._affine(node.operand)
+            if sub is None:
+                return None
+            coeffs, const = sub
+            return {k: -v for k, v in coeffs.items()}, -const
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                l = self._affine(node.left)
+                r = self._affine(node.right)
+                if l is None or r is None:
+                    return None
+                sign = 1 if isinstance(node.op, ast.Add) else -1
+                coeffs = dict(l[0])
+                for k, v in r[0].items():
+                    coeffs[k] = coeffs.get(k, 0) + sign * v
+                coeffs = {k: v for k, v in coeffs.items() if v}
+                return coeffs, l[1] + sign * r[1]
+            if isinstance(node.op, ast.Mult):
+                l = self._affine(node.left)
+                r = self._affine(node.right)
+                if l is None or r is None:
+                    return None
+                if not l[0]:
+                    c = l[1]
+                    return ({k: c * v for k, v in r[0].items() if c * v},
+                            c * r[1])
+                if not r[0]:
+                    c = r[1]
+                    return ({k: c * v for k, v in l[0].items() if c * v},
+                            c * l[1])
+                return None
+        return None
+
+    @staticmethod
+    def _affine_c(coeffs: Dict[str, int], const: int) -> str:
+        parts = []
+        for name in sorted(coeffs):
+            c = coeffs[name]
+            if c == 1:
+                parts.append(f"({name})")
+            elif c == -1:
+                parts.append(f"(-({name}))")
+            else:
+                parts.append(f"(({c}) * ({name}))")
+        if const or not parts:
+            parts.append(str(const))
+        return "(" + " + ".join(parts) + ")"
+
+    def _conjuncts(self, test: ast.AST):
+        """Flatten an ``and`` tree into single-op comparisons, or None
+        when the test is not a pure conjunction of such comparisons."""
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+            out = []
+            for v in test.values:
+                sub = self._conjuncts(v)
+                if sub is None:
+                    return None
+                out.extend(sub)
+            return out
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            return [test]
+        return None
+
+    def _absorb_one(self, cmp: ast.Compare, v: str, assigned: set):
+        """Fold one affine conjunct into a loop bound: returns
+        ``("lo", c_expr)`` meaning ``v >= c_expr``, ``("hi", c_expr)``
+        meaning ``v < c_expr``, or None when not absorbable."""
+        l = self._affine(cmp.left)
+        r = self._affine(cmp.comparators[0])
+        if l is None or r is None:
+            return None
+        op = type(cmp.ops[0]).__name__
+        # normalize to  coeffs·names + const >= need
+        if op in ("GtE", "Gt"):
+            pos, neg, strict = l, r, op == "Gt"
+        elif op in ("LtE", "Lt"):
+            pos, neg, strict = r, l, op == "Lt"
+        else:
+            return None
+        coeffs = dict(pos[0])
+        for k, c in neg[0].items():
+            coeffs[k] = coeffs.get(k, 0) - c
+        coeffs = {k: c for k, c in coeffs.items() if c}
+        const = pos[1] - neg[1]
+        cv = coeffs.pop(v, 0)
+        if cv not in (1, -1):
+            return None
+        for name in coeffs:
+            if name in assigned or name in self.arrays:
+                return None      # not invariant across the loop body
+        need = 1 if strict else 0
+        if cv == 1:
+            # v >= need - const - rest
+            return ("lo", self._affine_c({k: -c for k, c in coeffs.items()},
+                                         need - const))
+        # -v + rest + const >= need  =>  v < rest + const - need + 1
+        return ("hi", self._affine_c(coeffs, const - need + 1))
+
+    def _simd_safe(self, body: Sequence[ast.stmt], v: str) -> bool:
+        """True when every iteration of the loop over ``v`` touches
+        provably distinct store addresses and carries no scalar state, so
+        ``#pragma omp simd`` preserves byte-identical results."""
+        store_texts = set()
+        for st in body:
+            if not (isinstance(st, ast.Assign) and len(st.targets) == 1):
+                return False
+            tgt = st.targets[0]
+            if isinstance(tgt, ast.Name):
+                # fresh per-iteration local is privatizable; a name already
+                # live outside the loop could carry state across iterations
+                if tgt.id in self.declared:
+                    return False
+                continue
+            if not (isinstance(tgt, ast.Subscript)
+                    and isinstance(tgt.value, ast.Name)
+                    and tgt.value.id in self.arrays):
+                return False
+            sl = tgt.slice
+            idx = list(sl.elts) if isinstance(sl, ast.Tuple) else [sl]
+            varying = 0
+            for comp in idx:
+                aff = self._affine(comp)
+                if aff is None:
+                    if v in self._names_in(comp):
+                        return False
+                    continue
+                cv = aff[0].get(v, 0)
+                if cv == 0:
+                    continue
+                if cv not in (1, -1):
+                    return False
+                varying += 1
+            if varying != 1:
+                return False
+            text = ast.unparse(tgt)
+            for other in store_texts:
+                # two distinct addresses of one array could collide across
+                # iterations (y[i] vs y[i+1]); one address per array only
+                if (other != text
+                        and other.split("[", 1)[0] == tgt.value.id):
+                    return False
+            store_texts.add(text)
+        if not store_texts:
+            return False
+        # every reference to a stored array must be textually one of the
+        # stores (same address as this iteration's own store)
+        written = {t.split("[", 1)[0] for t in store_texts}
+        for st in body:
+            for node in ast.walk(st):
+                if (isinstance(node, ast.Subscript)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id in written
+                        and ast.unparse(node) not in store_texts):
+                    return False
+        return True
+
+    def _uid(self) -> int:
+        self._uid_counter += 1
+        return self._uid_counter
+
     # -- emission helpers -------------------------------------------------
 
     def emit(self, line: str) -> None:
@@ -358,7 +611,7 @@ class _Lowerer:
             if node.id in self.arrays:
                 raise NativeLoweringError(
                     f"raw array reference {node.id!r} outside subscript")
-            return node.id
+            return self.rename.get(node.id, node.id)
         if isinstance(node, ast.Constant):
             return self._const(node.value)
         if isinstance(node, ast.UnaryOp):
@@ -591,15 +844,17 @@ class _Lowerer:
         self.emit(f"{node.target.id} {op} {self.cexpr(node.value)};")
 
     def _range_parts(self, node: ast.For):
+        """``(lo_ast, hi_ast, step)`` for a ``range(...)`` loop; ``lo_ast``
+        is None for the one-argument form (lower bound 0)."""
         it = node.iter
         if not (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
                 and it.func.id == "range"):
             raise NativeLoweringError("non-range for loop")
         args = it.args
         if len(args) == 1:
-            return "0", self.cexpr(args[0]), 1
+            return None, args[0], 1
         if len(args) == 2:
-            return self.cexpr(args[0]), self.cexpr(args[1]), 1
+            return args[0], args[1], 1
         if len(args) == 3:
             step = args[2]
             if (isinstance(step, ast.UnaryOp) and isinstance(step.op, ast.USub)
@@ -610,13 +865,16 @@ class _Lowerer:
                 sv = step.value
             else:
                 raise NativeLoweringError("non-unit range step")
-            return self.cexpr(args[0]), self.cexpr(args[1]), sv
+            return args[0], args[1], sv
         raise NativeLoweringError("range arity")
+
+    def _lo_c(self, lo_ast: Optional[ast.AST]) -> str:
+        return "0" if lo_ast is None else self.cexpr(lo_ast)
 
     def _for(self, node: ast.For) -> None:
         if not isinstance(node.target, ast.Name):
             raise NativeLoweringError("tuple for-loop target")
-        lo, hi, step = self._range_parts(node)
+        lo_ast, hi_ast, step = self._range_parts(node)
         flag = "seq"
         if (self.loop_flags is not None and self.parallel_depth == 0
                 and not self.atomic_region):
@@ -630,10 +888,43 @@ class _Lowerer:
                 atomic_here = True
             else:
                 flag = "seq"
+        v = node.target.id
+        opt_on = (self.opt != "none" and step > 0 and not atomic_here
+                  and not self.atomic_region)
+        if opt_on and flag == "seq" and self._try_register_tile(node,
+                                                               lo_ast, hi_ast):
+            return
+        body = node.body
+        lo, hi = self._lo_c(lo_ast), self.cexpr(hi_ast)
+        if opt_on:
+            absorbed = self._try_absorb_guard(node, v, lo, hi)
+            if absorbed is not None:
+                lo, hi, body = absorbed
+        strip = (opt_on and self.emit_depth == 0 and self.tile_rows > 0
+                 and not self._mentions_arrays(node.iter,
+                                               self.written_arrays))
+        simd = (opt_on and flag == "seq"
+                and self._simd_safe(body, v))
         if flag in ("par", "par_atomic"):
             self.emit("#pragma omp parallel for")
             self.uses_openmp = True
-        v = node.target.id
+        if strip:
+            # cache-block the outermost loop into row blocks; per-iteration
+            # work and order are unchanged, so results stay byte-identical
+            self.transforms.append("strip_mine")
+            self._need_helper("_imax", _helper_minmax())
+            blk, end = f"{v}__blk", f"{v}__end"
+            self.emit(f"for (int64_t {blk} = {lo}; {blk} < {hi}; "
+                      f"{blk} += {self.tile_rows}) {{")
+            self.indent += 1
+            self.emit(f"int64_t {end} = _imin(({blk}) + {self.tile_rows}, "
+                      f"{hi});")
+            lo, hi = blk, end
+        if simd:
+            # honored under -fopenmp-simd (always passed for this tier);
+            # does not require the full OpenMP runtime
+            self.transforms.append("simd")
+            self.emit("#pragma omp simd")
         if step > 0:
             hdr = f"for (int64_t {v} = {lo}; {v} < {hi}; {v}++)"
         else:
@@ -645,23 +936,201 @@ class _Lowerer:
             self.parallel_depth += 1
         if atomic_here:
             self.atomic_region = True
-        self.lower_body(node.body)
+        self.emit_depth += 1
+        self.lower_body(body)
+        self.emit_depth -= 1
         if atomic_here:
             self.atomic_region = False
         if entered_parallel:
             self.parallel_depth -= 1
         self.indent -= 1
         self.emit("}")
+        if strip:
+            self.indent -= 1
+            self.emit("}")
+
+    # -- tiled-tier loop transforms ---------------------------------------
+
+    def _try_absorb_guard(self, node: ast.For, v: str, lo: str, hi: str):
+        """Guard absorption + bound hoisting: a unit-step loop whose body
+        is a single conjunctive ``if`` has every affine ``±1``-coefficient
+        condition on ``v`` folded into hoisted ``_imax``/``_imin`` bounds.
+        The removed iterations executed nothing, so this is exactly
+        byte-identical.  Returns ``(lo, hi, new_body)`` or None."""
+        body = node.body
+        if len(body) != 1 or not isinstance(body[0], ast.If) or body[0].orelse:
+            return None
+        conjs = self._conjuncts(body[0].test)
+        if conjs is None:
+            return None
+        assigned = self._assigned_names(body)
+        lows: List[str] = []
+        highs: List[str] = []
+        residual: List[ast.expr] = []
+        for cmp in conjs:
+            r = self._absorb_one(cmp, v, assigned)
+            if r is None:
+                residual.append(cmp)
+            elif r[0] == "lo":
+                lows.append(r[1])
+            else:
+                highs.append(r[1])
+        if not lows and not highs:
+            return None
+        self.transforms.append("guard_absorb")
+        self._need_helper("_imax", _helper_minmax())
+        uid = self._uid()
+        lov, hiv = f"_lo{uid}", f"_hi{uid}"
+        self.emit(f"int64_t {lov} = {lo};")
+        self.emit(f"int64_t {hiv} = {hi};")
+        for b in lows:
+            self.emit(f"{lov} = _imax({lov}, {b});")
+        for b in highs:
+            self.emit(f"{hiv} = _imin({hiv}, {b});")
+        new_body: List[ast.stmt] = list(body[0].body)
+        if residual:
+            test = (residual[0] if len(residual) == 1
+                    else ast.BoolOp(op=ast.And(), values=residual))
+            new_body = [ast.If(test=test, body=new_body, orelse=[])]
+        return lov, hiv, new_body
+
+    def _try_register_tile(self, node: ast.For,
+                           lo_ast: Optional[ast.AST],
+                           hi_ast: ast.AST) -> bool:
+        """Register-tile the SpMM accumulation shape: a sparse loop whose
+        last statement is an inner DOALL panel accumulation is column-
+        blocked, holding the output panel in a fixed-width accumulator
+        across the sparse loop.  Per output element the accumulation order
+        is unchanged, so results stay byte-identical."""
+        body = node.body
+        if len(body) < 1 or not isinstance(body[-1], ast.For):
+            return False
+        pre = body[:-1]
+        if not all(isinstance(s, ast.Assign) and len(s.targets) == 1
+                   and isinstance(s.targets[0], ast.Name) for s in pre):
+            return False
+        inner = body[-1]
+        if not isinstance(inner.target, ast.Name):
+            return False
+        try:
+            ilo, ihi, istep = self._range_parts(inner)
+        except NativeLoweringError:
+            return False
+        if istep != 1:
+            return False
+        if len(inner.body) != 1 or not isinstance(inner.body[0], ast.Assign):
+            return False
+        st = inner.body[0]
+        tgt = st.targets[0]
+        if not (isinstance(tgt, ast.Subscript)
+                and isinstance(tgt.value, ast.Name)
+                and tgt.value.id in self.arrays):
+            return False
+        spec = self.arrays[tgt.value.id]
+        if spec.dtype not in ("float32", "float64"):
+            return False
+        val = st.value
+        if not (isinstance(val, ast.BinOp) and isinstance(val.op, ast.Add)
+                and ast.unparse(val.left) == ast.unparse(tgt)):
+            return False
+        v = inner.target.id
+        jv = node.target.id
+        sl = tgt.slice
+        idx = list(sl.elts) if isinstance(sl, ast.Tuple) else [sl]
+        if len(idx) != max(spec.ndim, 1):
+            return False
+        last = idx[-1]
+        if not (isinstance(last, ast.Name) and last.id == v):
+            return False
+        pre_names = {s.targets[0].id for s in pre}
+        varying = pre_names | {jv, v}
+        written = {tgt.value.id}
+        for comp in idx[:-1]:
+            # outer panel indices must be invariant across the sparse loop
+            if self._names_in(comp) & varying:
+                return False
+        if self._mentions_arrays(val.right, written):
+            return False
+        for b in (ilo, ihi):
+            if b is not None and (self._names_in(b) & varying
+                                  or self._mentions_arrays(b, written)):
+                return False
+        for b in (lo_ast, hi_ast):
+            # sparse-loop bounds are re-evaluated per panel
+            if b is not None and self._mentions_arrays(b, written):
+                return False
+        for s in pre:
+            if self._mentions_arrays(s.value, written):
+                return False
+        self._emit_register_tile(node, pre, spec, tgt, val.right, v, jv,
+                                 ilo, ihi, lo_ast, hi_ast)
+        return True
+
+    def _emit_register_tile(self, node, pre, spec, tgt, acc_expr, v, jv,
+                            ilo, ihi, jlo, jhi) -> None:
+        self.transforms.append("register_tile")
+        spec.written = True
+        # the pattern match skipped the inner For: keep the plan-aligned
+        # flag cursor in step for whatever loops follow this one
+        self.for_index += sum(1 for n in ast.walk(node)
+                              if isinstance(n, ast.For)) - 1
+        B = 8
+        uid = self._uid()
+        p, q = f"_vp{uid}", f"_vq{uid}"
+        acc, acc1 = f"_acc{uid}", f"_accr{uid}"
+        T = _CTYPES[spec.dtype]
+        lo_c, hi_c = self._lo_c(ilo), self.cexpr(ihi)
+        jlo_c, jhi_c = self._lo_c(jlo), self.cexpr(jhi)
+        saved_declared = set(self.declared)
+
+        def emit_sparse_loop(update: str) -> None:
+            self.emit(f"for (int64_t {jv} = {jlo_c}; {jv} < {jhi_c}; "
+                      f"{jv}++) {{")
+            self.indent += 1
+            for s in pre:
+                self._assign(s)
+            self.emit(update)
+            self.indent -= 1
+            self.emit("}")
+            self.declared.clear()
+            self.declared.update(saved_declared)
+
+        self.emit(f"int64_t {p} = {lo_c};")
+        self.emit(f"for (; ({p}) + {B} <= {hi_c}; {p} += {B}) {{")
+        self.indent += 1
+        self.emit(f"{T} {acc}[{B}];")
+        self.rename[v] = f"(({p}) + ({q}))"
+        panel_slot = self._subscript(tgt)
+        self.emit(f"for (int64_t {q} = 0; {q} < {B}; {q}++) "
+                  f"{acc}[{q}] = {panel_slot};")
+        update = (f"for (int64_t {q} = 0; {q} < {B}; {q}++) "
+                  f"{acc}[{q}] = ({acc}[{q}]) + ({self.cexpr(acc_expr)});")
+        emit_sparse_loop(update)
+        self.emit(f"for (int64_t {q} = 0; {q} < {B}; {q}++) "
+                  f"{panel_slot} = {acc}[{q}];")
+        self.indent -= 1
+        self.emit("}")
+        # scalar remainder columns
+        self.rename[v] = p
+        self.emit(f"for (; {p} < {hi_c}; {p}++) {{")
+        self.indent += 1
+        self.emit(f"{T} {acc1} = {self._subscript(tgt)};")
+        emit_sparse_loop(f"{acc1} = ({acc1}) + ({self.cexpr(acc_expr)});")
+        self.emit(f"{self._subscript(tgt)} = {acc1};")
+        self.indent -= 1
+        self.emit("}")
+        del self.rename[v]
 
     # -- assembly ---------------------------------------------------------
 
     def c_signature(self) -> str:
+        qual = " restrict" if self.opt != "none" else ""
         parts: List[str] = []
         for spec in self.args:
             if spec.kind == "scalar":
                 parts.append(f"int64_t {spec.cname}")
             else:
-                parts.append(f"{_CTYPES[spec.dtype]} *{spec.cname}")
+                parts.append(f"{_CTYPES[spec.dtype]} *{qual} {spec.cname}")
                 for k in range(max(spec.ndim - 1, 0)):
                     parts.append(f"int64_t {spec.cname}__s{k}")
                 if spec.need_len:
@@ -747,20 +1216,31 @@ def emitted_loop_flags(plan: Plan, report, flavour: str) -> List[str]:
 
 def lower_source(py_source: str, bindings: Mapping[str, object],
                  flavour: str = "none",
-                 loop_flags: Optional[List[str]] = None) -> NativeSpec:
+                 loop_flags: Optional[List[str]] = None,
+                 opt: str = "none",
+                 tile_rows: Optional[int] = None) -> NativeSpec:
     """Lower generated Python kernel source to a C99 translation unit.
 
     ``bindings`` supplies the compile-time format instances (dtype and
     rank resolution for the index/value arrays).  ``loop_flags`` is the
     per-``for`` parallelism verdict list from :func:`emitted_loop_flags`
-    (None: fully sequential)."""
-    low = _Lowerer(py_source, bindings, flavour, loop_flags)
+    (None: fully sequential).  ``opt`` selects the optimization tier
+    (``"none"``, ``"tiled"``, ``"fast"`` — see the module docstring);
+    ``tile_rows`` overrides the ``REPRO_TILE_ROWS`` row-block size."""
+    if opt not in ("none", "tiled", "fast"):
+        raise ValueError(
+            f"opt must be 'none', 'tiled' or 'fast', got {opt!r}")
+    if tile_rows is None:
+        from repro.util.env import env_int
+        tile_rows = env_int("REPRO_TILE_ROWS", 512, minimum=1)
+    low = _Lowerer(py_source, bindings, flavour, loop_flags, opt, tile_rows)
     low.lower_body(low.body)
     return NativeSpec(low.translation_unit(), low.args, low.uses_openmp,
-                      flavour)
+                      flavour, opt, low.transforms)
 
 
-def lower_kernel(kernel, parallel: str = "none") -> NativeSpec:
+def lower_kernel(kernel, parallel: str = "none", opt: str = "none",
+                 tile_rows: Optional[int] = None) -> NativeSpec:
     """Lower a :class:`~repro.core.compiler.CompiledKernel`'s generated
     source to C, with OpenMP pragmas on the loops its
     :class:`~repro.core.parallel.ParallelReport` proves order-free."""
@@ -778,7 +1258,8 @@ def lower_kernel(kernel, parallel: str = "none") -> NativeSpec:
             deps = dependences(kernel.program)
             report = analyze_parallelism(kernel.plan, deps)
             flags = emitted_loop_flags(kernel.plan, report, parallel)
-        return lower_source(kernel.source, kernel.bindings, parallel, flags)
+        return lower_source(kernel.source, kernel.bindings, parallel, flags,
+                            opt, tile_rows)
 
 
 def _param_loader(key: str):

@@ -63,7 +63,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.instrument import INSTR
-from repro.util.env import env_float
+from repro.util.env import env_flags, env_float
 
 try:
     import fcntl
@@ -71,6 +71,23 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 _CFLAGS = ["-O3", "-fPIC", "-shared", "-std=c11", "-ffp-contract=off"]
+
+
+def tier_cflags(opt: str) -> List[str]:
+    """Built-in compile flags for one optimization tier.
+
+    ``tiled`` adds ``-fopenmp-simd`` (activates ``#pragma omp simd``
+    without the OpenMP runtime); ``fast`` additionally swaps
+    ``-ffp-contract=off`` for ``-ffp-contract=fast``, permitting FMA
+    contraction — which is why the fast tier is validated by tolerance
+    rather than byte-identity."""
+    flags = list(_CFLAGS)
+    if opt in ("tiled", "fast"):
+        flags.append("-fopenmp-simd")
+    if opt == "fast":
+        flags = [f for f in flags if f != "-ffp-contract=off"]
+        flags.append("-ffp-contract=fast")
+    return flags
 
 
 class NativeBackendWarning(UserWarning):
@@ -153,6 +170,62 @@ def openmp_supported(cc: str) -> bool:
                 except (OSError, subprocess.SubprocessError):
                     _toolchain[key] = False
         return _toolchain[key]
+
+
+def simd_supported(cc: str) -> bool:
+    """Does ``cc -fopenmp-simd`` compile a ``#pragma omp simd`` loop?
+    Gates the ``tiled``/``fast`` tiers: a compiler that rejects the flag
+    or the pragma demotes the request to ``opt='none'``."""
+    key = ("simd", cc)
+    with _TOOLCHAIN_LOCK:
+        if key not in _toolchain:
+            probe = (
+                "int main(void) {\n"
+                "    double s[8];\n"
+                "    #pragma omp simd\n"
+                "    for (int i = 0; i < 8; i++) s[i] = (double)i;\n"
+                "    return s[3] == 3.0 ? 0 : 1;\n"
+                "}\n")
+            with tempfile.TemporaryDirectory(prefix="repro-simd-") as d:
+                src = os.path.join(d, "probe.c")
+                with open(src, "w") as f:
+                    f.write(probe)
+                try:
+                    r = subprocess.run(
+                        [cc, "-fopenmp-simd", src,
+                         "-o", os.path.join(d, "probe")],
+                        capture_output=True, timeout=60)
+                    _toolchain[key] = r.returncode == 0
+                except (OSError, subprocess.SubprocessError):
+                    _toolchain[key] = False
+        return _toolchain[key]
+
+
+def resolve_opt(opt: str, cc: Optional[str]) -> str:
+    """Demote an optimization tier the toolchain cannot honor.
+
+    A missing compiler or a failed SIMD probe turns ``tiled``/``fast``
+    into ``"none"`` observably: ``native.tier.demotions`` plus a
+    per-reason counter, and a :class:`NativeBackendWarning` naming the
+    tier.  (With no compiler at all, the subsequent compile then falls
+    back to the Python kernel through the usual contract.)"""
+    if opt == "none":
+        return opt
+    if cc is None:
+        reason = "no_toolchain"
+    elif not simd_supported(cc):
+        reason = "simd_probe"
+    else:
+        return opt
+    INSTR.count("native.tier.demotions")
+    INSTR.count(f"native.tier.demotion.{reason}")
+    warnings.warn(
+        f"optimization tier {opt!r} unavailable ({reason}); "
+        "demoting to opt='none'",
+        NativeBackendWarning,
+        stacklevel=3,
+    )
+    return "none"
 
 
 # ---------------------------------------------------------------------------
@@ -346,8 +419,13 @@ def _build_and_load(cc: str, c_source: str, flags: Tuple[str, ...],
 
 
 def compile_native_function(c_source: str, want_openmp: bool,
-                            cache_mode: str):
+                            cache_mode: str, opt: str = "none"):
     """Compile ``c_source`` and return (ctypes function, used_openmp).
+
+    Flags are the tier's built-ins (:func:`tier_cflags`), ``-fopenmp``
+    when requested and supported, then any user ``REPRO_CFLAGS`` —
+    appended last so they win, and part of the artifact digest so flag
+    changes never serve a stale ``.so``.
 
     Single-flight: concurrent requests for the same digest coalesce onto
     one toolchain invocation (see module docstring).  Raises on toolchain
@@ -357,7 +435,10 @@ def compile_native_function(c_source: str, want_openmp: bool,
     if cc is None:
         raise RuntimeError("no C compiler on PATH (set REPRO_CC to override)")
     use_omp = want_openmp and openmp_supported(cc)
-    flags = tuple(_CFLAGS + (["-fopenmp"] if use_omp else []))
+    flags = tier_cflags(opt)
+    if use_omp:
+        flags.append("-fopenmp")
+    flags = tuple(flags + env_flags("REPRO_CFLAGS"))
     digest = artifact_key(c_source, flags, cc)
 
     with _SO_LOCK:
@@ -431,12 +512,22 @@ class NativeKernel:
     dtype and C-contiguity (``np.ascontiguousarray`` — a no-op for
     already-conforming arrays); arrays the kernel writes are copied back
     when coercion had to copy.  Stride and length arguments are derived
-    from the coerced array's shape."""
+    from the coerced array's shape.
+
+    Prepared-argument fast path: solver loops call the same kernel with
+    the same array objects thousands of times.  When a call needed no
+    coercion copies and no writebacks, the marshalled ctypes argument
+    vector is cached; the next call revalidates only array identity and
+    scalar values (in-place mutation of a prepared array is fine — the
+    cached pointer targets the same buffer) and skips the per-argument
+    numpy machinery.  The cached tuple keeps the arrays alive, so an
+    identity match can never be a recycled ``id``."""
 
     def __init__(self, fn, spec, used_openmp: bool):
         self.spec = spec
         self.used_openmp = used_openmp
         self._fn = fn
+        self._prep: Optional[Tuple[tuple, tuple, tuple]] = None
         argtypes = []
         for a in spec.args:
             if a.kind == "scalar":
@@ -456,13 +547,39 @@ class NativeKernel:
     def __call__(self, arrays: Mapping[str, object],
                  params: Mapping[str, int]) -> None:
         with INSTR.phase("native_dispatch"):
+            prep = self._prep
+            if prep is not None:
+                objs, scalars, pcargs = prep
+                oi = si = 0
+                match = True
+                for a in self.spec.args:
+                    val = a.loader(arrays, params)
+                    if a.kind == "scalar":
+                        if int(val) != scalars[si]:
+                            match = False
+                            break
+                        si += 1
+                    else:
+                        if val is not objs[oi]:
+                            match = False
+                            break
+                        oi += 1
+                if match:
+                    INSTR.count("native.dispatch.prepared")
+                    self._fn(*pcargs)
+                    return
             cargs: List[object] = []
             keepalive: List[np.ndarray] = []
             writebacks: List[Tuple[np.ndarray, np.ndarray]] = []
+            objs: List[object] = []
+            scalars: List[int] = []
+            preparable = True
             for a in self.spec.args:
                 val = a.loader(arrays, params)
                 if a.kind == "scalar":
-                    cargs.append(int(val))
+                    sv = int(val)
+                    scalars.append(sv)
+                    cargs.append(sv)
                     continue
                 arr = np.asarray(val)
                 want = np.dtype(a.dtype)
@@ -474,6 +591,9 @@ class NativeKernel:
                         f"{a.cname}: expected ndim {a.ndim}, got {carr.ndim}")
                 if a.written and not np.may_share_memory(carr, arr):
                     writebacks.append((arr, carr))
+                if carr is not val:
+                    preparable = False
+                objs.append(val)
                 keepalive.append(carr)
                 cargs.append(carr.ctypes.data)
                 for k in range(1, a.ndim):
@@ -483,20 +603,29 @@ class NativeKernel:
             self._fn(*cargs)
             for orig, tmp in writebacks:
                 orig[...] = tmp
+            if preparable and not writebacks:
+                self._prep = (tuple(objs), tuple(scalars), tuple(cargs))
             del keepalive
 
 
 def bind_kernel(kernel, parallel: str = "none",
-                cache_mode: str = "memory") -> NativeKernel:
+                cache_mode: str = "memory",
+                opt: str = "none") -> NativeKernel:
     """Lower + compile + bind one CompiledKernel.  Raises on any failure
-    (the compiler API converts that into the Python fallback)."""
+    (the compiler API converts that into the Python fallback).  ``opt``
+    requests an optimization tier; an unsupported tier is demoted to
+    ``"none"`` first (see :func:`resolve_opt`), and a successful bind
+    counts ``native.tier.<opt>``."""
     from repro.codegen.native import lower_kernel
 
-    spec = lower_kernel(kernel, parallel)
+    opt = resolve_opt(opt, find_compiler())
+    spec = lower_kernel(kernel, parallel, opt)
     fn, used_omp = compile_native_function(
         spec.c_source, want_openmp=(parallel != "none" and spec.uses_openmp),
-        cache_mode=cache_mode)
-    return NativeKernel(fn, spec, used_omp)
+        cache_mode=cache_mode, opt=opt)
+    nk = NativeKernel(fn, spec, used_omp)
+    INSTR.count(f"native.tier.{opt}")
+    return nk
 
 
 def native_fallback(reason: str, detail: str) -> None:

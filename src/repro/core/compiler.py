@@ -37,11 +37,14 @@ class CompiledKernel:
     ``"c+openmp"``, or ``"python"`` after a fallback), and
     ``fallback_reason`` why the native path was abandoned, so a silent
     fallback is always observable on the object and in the
-    instrumentation report."""
+    instrumentation report.  ``opt`` likewise records the *requested*
+    optimization tier and ``opt_used`` what the bind actually honored
+    (a tier the toolchain can't support demotes to ``"none"``)."""
 
     def __init__(self, program: Program, bindings: Mapping[str, SparseFormat],
                  result: SearchResult, backend: str = "python",
-                 parallel: str = "none", cache_mode: str = "memory"):
+                 parallel: str = "none", cache_mode: str = "memory",
+                 opt: str = "none"):
         self.program = program
         self.bindings = dict(bindings)
         self.result = result
@@ -49,6 +52,8 @@ class CompiledKernel:
         self.cost = result.cost
         self.backend = backend
         self.parallel = parallel
+        self.opt = opt
+        self.opt_used: Optional[str] = None
         self.backend_used = "python"
         self.fallback_reason: Optional[str] = None
         self._cache_mode = cache_mode
@@ -112,9 +117,11 @@ class CompiledKernel:
 
                     try:
                         self._native = be.bind_kernel(self, self.parallel,
-                                                      self._cache_mode)
+                                                      self._cache_mode,
+                                                      self.opt)
                         self.backend_used = (
                             "c+openmp" if self._native.used_openmp else "c")
+                        self.opt_used = self._native.spec.opt
                     except NativeLoweringError as e:
                         self.fallback_reason = f"lowering: {e}"
                         be.native_fallback("lowering", str(e))
@@ -179,6 +186,10 @@ class CompiledKernel:
             tail = f" backend={self.backend}->{used}"
             if self.parallel != "none":
                 tail += f" parallel={self.parallel}"
+            if self.opt != "none":
+                tail += f" opt={self.opt}"
+                if self.opt_used is not None and self.opt_used != self.opt:
+                    tail += f"->{self.opt_used}"
         return (f"<CompiledKernel {self.program.name} {b} "
                 f"cost={self.cost:.1f}{tail}>")
 
@@ -257,6 +268,7 @@ def compile_kernel(
     cache: Optional[str] = None,
     backend: str = "python",
     parallel: str = "none",
+    opt: Optional[str] = None,
 ) -> CompiledKernel:
     """Compile ``program`` for the given format bindings.
 
@@ -285,6 +297,14 @@ def compile_kernel(
     synchronization-free DOALL loops, ``"atomic"`` additionally reduction
     loops with atomic accumulation.  Both are advisory for
     ``backend="python"``.
+
+    ``opt`` selects the native optimization tier: ``"none"`` (the naive
+    loops), ``"tiled"`` (cache-blocked + SIMD-annotated, byte-identical
+    to the Python backend), or ``"fast"`` (tiled plus FMA contraction,
+    validated by tolerance).  ``None`` defers to the ``REPRO_OPT``
+    environment variable (default ``"none"``).  A tier the toolchain
+    cannot honor is demoted observably (``native.tier.demotion.*``);
+    ``opt`` is ignored by ``backend="python"``.
     """
     from repro.core import cache as cc
 
@@ -293,6 +313,13 @@ def compile_kernel(
     if parallel not in ("none", "strict", "atomic"):
         raise ValueError(
             f"parallel must be 'none', 'strict' or 'atomic', got {parallel!r}")
+    if opt is None:
+        from repro.util.env import env_choice
+
+        opt = env_choice("REPRO_OPT", "none", ("none", "tiled", "fast"))
+    elif opt not in ("none", "tiled", "fast"):
+        raise ValueError(
+            f"opt must be 'none', 'tiled' or 'fast', got {opt!r}")
     validate_program(program)
     for name, fmt in bindings.items():
         decl = program.arrays.get(name)
@@ -321,7 +348,7 @@ def compile_kernel(
                         result.plan.simplify_guards(dict(param_values))
                         entry.simplified.add(idx)
             kernel = _kernel_from_entry(program, bindings, result, entry, idx,
-                                        mode, key, backend, parallel)
+                                        mode, key, backend, parallel, opt)
             if backend == "c":
                 kernel.native()          # compile eagerly; may fall back
             return kernel
@@ -337,7 +364,7 @@ def compile_kernel(
         if simplify_guards:
             result.plan.simplify_guards(dict(param_values))
     kernel = CompiledKernel(program, bindings, result, backend=backend,
-                            parallel=parallel, cache_mode=mode)
+                            parallel=parallel, cache_mode=mode, opt=opt)
     if entry is not None:
         # under the entry lock: once record() published the entry, a
         # concurrent hit on this key may race us to simplify the same plan
@@ -352,10 +379,10 @@ def compile_kernel(
 
 
 def _kernel_from_entry(program, bindings, result, entry, idx, mode, key,
-                       backend="python", parallel="none"):
+                       backend="python", parallel="none", opt="none"):
     """Build a kernel from a cache hit, replaying memoized source."""
     kernel = CompiledKernel(program, bindings, result, backend=backend,
-                            parallel=parallel, cache_mode=mode)
+                            parallel=parallel, cache_mode=mode, opt=opt)
     with entry._lock:
         src = entry.sources.get(idx)
         if src is not None:

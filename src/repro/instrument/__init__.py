@@ -34,6 +34,15 @@ Counter namespaces used by the compiler:
 - ``plan.*``            — plan lowering
 - ``native.*``          — C backend: compiles, .so-cache traffic,
                           single-flight coalescing, fallbacks
+- ``native.tier.*``     — optimization tiers: successful binds per tier
+                          (``native.tier.tiled`` / ``.fast`` /
+                          ``.none``), demotions when the toolchain
+                          cannot honor a request
+                          (``native.tier.demotions`` aggregate,
+                          ``native.tier.demotion.no_toolchain`` /
+                          ``.simd_probe`` by reason)
+- ``native.dispatch.*`` — NativeKernel call paths: prepared-argument
+                          fast-path hits (``native.dispatch.prepared``)
 - ``backend.run.*``     — per-call dispatch (native / python / interp)
 - ``service.*``         — compile_many batch driver traffic
 - ``daemon.*``          — compilation daemon: requests by op, handle-LRU
@@ -76,8 +85,12 @@ Counter namespaces used by the compiler:
                           accumulator kernels, ``spgemm.enumerate`` for
                           the generic any-pair route), call and tier
                           counters (``spgemm.calls``,
-                          ``spgemm.tier.vectorized`` / ``.specialized``
-                          / ``.generic``), output-format selections
+                          ``spgemm.tier.native`` / ``.vectorized`` /
+                          ``.specialized`` / ``.generic``, plus
+                          ``spgemm.tier.native_fallbacks`` when the
+                          native numeric kernel is unavailable and the
+                          call demotes to vectorized), output-format
+                          selections
                           (``spgemm.output_select``) and packing
                           fallbacks to CSR (``spgemm.output_fallbacks``)
 """

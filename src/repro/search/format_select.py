@@ -21,6 +21,10 @@ same structure class replays the cached winner — it builds and compiles
 one format instead of nine and runs zero measurements (the compile cache
 makes the one compile a lookup too).  Concurrent selections of one
 structure class tune once (:mod:`repro.search.autotune` single-flight).
+Over the C backend the optimization tier is a search axis too: each
+natively-measured top-k candidate also gets an ``opt="tiled"`` variant,
+the winner record carries a ``tier`` field, and replay rebinds the exact
+(format, tier) pair.
 
 ``model`` and ``auto`` return every candidate (formats with no legal plan
 are reported, not hidden), ranked best first; a cache-served ``auto``
@@ -59,16 +63,20 @@ class FormatChoice:
     ``backend_used`` what actually executed the measurement (``"c"``,
     ``"c+openmp"``, or ``"python"``) — so a timing taken through a
     Python-fallback kernel is never silently compared against native
-    ones."""
+    ones.  ``tier`` is the native optimization tier this candidate was
+    compiled with (``"none"``/``"tiled"``) — auto mode over the C backend
+    tunes the (format, tier) *pair*, so the same format can appear once
+    per tier."""
 
     __slots__ = ("format_name", "kernel", "score", "error", "model_cost",
-                 "measured", "backend_used")
+                 "measured", "backend_used", "tier")
 
     def __init__(self, format_name: str, kernel,
                  score: Optional[float], error: Optional[str] = None,
                  model_cost: Optional[float] = None,
                  measured: Optional[float] = None,
-                 backend_used: Optional[str] = None):
+                 backend_used: Optional[str] = None,
+                 tier: str = "none"):
         self.format_name = format_name
         self.kernel = kernel
         self.score = score
@@ -76,18 +84,25 @@ class FormatChoice:
         self.model_cost = model_cost
         self.measured = measured
         self.backend_used = backend_used
+        self.tier = tier
 
     @property
     def ok(self) -> bool:
         return self.kernel is not None
 
+    @property
+    def label(self) -> str:
+        """``format`` or ``format+tier`` — unique per candidate row."""
+        return (self.format_name if self.tier == "none"
+                else f"{self.format_name}+{self.tier}")
+
     def __repr__(self):
         if not self.ok:
-            return f"<{self.format_name}: no plan ({self.error})>"
+            return f"<{self.label}: no plan ({self.error})>"
         if self.score is None:
-            return f"<{self.format_name}: ok (unscored)>"
+            return f"<{self.label}: ok (unscored)>"
         tail = f" [{self.backend_used}]" if self.backend_used else ""
-        return f"<{self.format_name}: score={self.score:.4g}{tail}>"
+        return f"<{self.label}: score={self.score:.4g}{tail}>"
 
 
 class SelectionResult:
@@ -139,17 +154,17 @@ class SelectionResult:
                 "auto": "seconds"}.get(self.mode, "score")
         for c in self.choices:
             if not c.ok:
-                lines.append(f"  {c.format_name:6s} {'no legal plan':>14s}")
+                lines.append(f"  {c.label:10s} {'no legal plan':>14s}")
             elif c.score is not None:
                 tag = unit
                 if c.backend_used and self.mode != "model":
                     tag += f", {c.backend_used}"
-                lines.append(f"  {c.format_name:6s} {c.score:14.4g}  ({tag})")
+                lines.append(f"  {c.label:10s} {c.score:14.4g}  ({tag})")
             elif self.mode == "auto" and c.model_cost is not None:
-                lines.append(f"  {c.format_name:6s} {c.model_cost:14.4g}  "
+                lines.append(f"  {c.label:10s} {c.model_cost:14.4g}  "
                              f"(estimated cost, not tuned)")
             else:
-                lines.append(f"  {c.format_name:6s} {'unscored':>14s}")
+                lines.append(f"  {c.label:10s} {'unscored':>14s}")
         return "\n".join(lines)
 
 
@@ -282,7 +297,8 @@ def _rank_candidates(program, array_name, matrix, candidates, rows, cols,
             choices.append(FormatChoice(name, None, None, str(e)))
             continue
         choices.append(FormatChoice(name, kernel, float(kernel.cost),
-                                    model_cost=float(kernel.cost)))
+                                    model_cost=float(kernel.cost),
+                                    tier=getattr(kernel, "opt", "none")))
     return choices, instances
 
 
@@ -398,6 +414,8 @@ def _select_auto(program, array_name, matrix, candidates, workload, repeats,
     key = at.winner_key(program, signature, candidates, backend, k)
 
     def tune() -> Tuple[Dict, SelectionResult]:
+        from repro.core.compiler import compile_kernel
+
         choices, instances = _rank_candidates(program, array_name, matrix,
                                               candidates, rows, cols, vals,
                                               bounds, backend, convert_kwargs)
@@ -406,14 +424,37 @@ def _select_auto(program, array_name, matrix, candidates, workload, repeats,
         for c in ranked_ok[:k]:
             _measure_choice(c, program, array_name,
                             instances[c.format_name], workload, reps)
+        # tier axis: over the C backend each natively-measured candidate
+        # also gets an ``opt="tiled"`` variant, so the winner is the best
+        # (format, tier) *pair*.  A variant whose bind demoted (no SIMD
+        # probe, toolchain loss) or whose measurement fell back to Python
+        # would duplicate an existing timing — it is dropped, not ranked.
+        if backend == "c":
+            for c in list(ranked_ok[:k]):
+                if c.tier != "none" or c.backend_used not in ("c", "c+openmp"):
+                    continue
+                try:
+                    kt = compile_kernel(program,
+                                        {array_name: instances[c.format_name]},
+                                        backend=backend, opt="tiled")
+                except PlanError:       # pragma: no cover - same plan as base
+                    continue
+                ct = FormatChoice(c.format_name, kt, None,
+                                  model_cost=float(kt.cost), tier="tiled")
+                _measure_choice(ct, program, array_name,
+                                instances[c.format_name], workload, reps)
+                if (ct.backend_used in ("c", "c+openmp")
+                        and getattr(kt, "opt_used", "none") == "tiled"):
+                    choices.append(ct)
         for c in ranked_ok[k:]:
             c.score = None              # untuned: ranked by model_cost tier
         result = SelectionResult(choices, instances, "auto")
         best = result.choices[0]
         record = {
             "format": best.format_name,
+            "tier": best.tier,
             "backend_used": best.backend_used,
-            "measured": {c.format_name: c.measured for c in result.choices
+            "measured": {c.label: c.measured for c in result.choices
                          if c.measured is not None},
             "signature": signature,
             "topk": k,
@@ -453,16 +494,20 @@ def _replay_winner(program, array_name, matrix, record, rows, cols, vals,
     from repro.core.compiler import compile_kernel
 
     name = record["format"]
+    tier = record.get("tier", "none")   # pre-tier records replay as naive
     inst = _build_instance(name, matrix, rows, cols, vals, bounds,
                            convert_kwargs)
-    kernel = compile_kernel(program, {array_name: inst}, backend=backend)
-    measured = (record.get("measured") or {}).get(name)
+    kernel = compile_kernel(program, {array_name: inst}, backend=backend,
+                            opt=tier)
+    label = name if tier == "none" else f"{name}+{tier}"
+    measured = (record.get("measured") or {}).get(label)
     choice = FormatChoice(name, kernel,
                           float(measured) if measured is not None
                           else float(kernel.cost),
                           model_cost=float(kernel.cost),
                           measured=measured,
-                          backend_used=record.get("backend_used"))
+                          backend_used=record.get("backend_used"),
+                          tier=tier)
     return SelectionResult([choice], {name: inst}, "auto")
 
 

@@ -198,6 +198,14 @@ class SolverContext:
         ``empirical`` modes the context's execution backend is forwarded
         too, so the measurements time the same dispatch the solver will
         use.
+    opt:
+        Native optimization tier for every bound kernel (``"none"`` /
+        ``"tiled"`` / ``"fast"``), forwarded to the compiler.  The default
+        (``None``) defers to ``REPRO_OPT`` — *unless* format selection ran
+        and crowned a tiered winner, in which case the context binds the
+        tuned (format, tier) pair: ``select="auto"`` over the C backend
+        measures both tiers per top-k format, and what won the
+        micro-benchmark is what the solver iterates through.
     register:
         When true (default), publish the bound kernels as per-instance
         handles so the plain functional API (:func:`repro.blas.api.mvm`
@@ -212,6 +220,7 @@ class SolverContext:
                  workload: Union[None, str, Callable] = None,
                  cache: Optional[str] = None,
                  max_workers: Optional[int] = None,
+                 opt: Optional[str] = None,
                  register: bool = True):
         ops = tuple(ops)
         for op in ops:
@@ -224,6 +233,7 @@ class SolverContext:
             A = CsrMatrix.from_dense(np.asarray(A))
         self.ops = ops
         self.backend = backend
+        self.opt = opt
         self.selection = None
         self.selection_error: Optional[str] = None
         self.fallbacks: Dict[str, str] = {}
@@ -237,6 +247,10 @@ class SolverContext:
         with INSTR.phase("solver.setup"):
             if select:
                 A = self._select(A, candidates, select_mode, workload)
+                if opt is None and self.selection is not None:
+                    # bind the tuned (format, tier) pair: the winner's tier
+                    # is what won the selection micro-benchmark
+                    self.opt = self.selection.choices[0].tier
             self.A = A
             if "ts_lower" in ops or "ts_upper" in ops:
                 self.L, self.U = _triangular_split(A)
@@ -289,7 +303,7 @@ class SolverContext:
             specs.append((op, mat_name, inst))
         batch = compile_many(programs, bindings, backend=backend,
                              parallel=parallel, cache=cache,
-                             max_workers=max_workers)
+                             max_workers=max_workers, opt=self.opt)
         for (op, mat_name, inst), outcome, program in zip(specs, batch,
                                                           programs):
             if not outcome.ok:
@@ -476,7 +490,8 @@ class SolverContext:
     def __repr__(self):
         parts = ", ".join(f"{op}={used}" for op, used in self.backends.items())
         sel = " selected" if self.selection is not None else ""
-        return f"<SolverContext {self.format_name}{sel} [{parts}]>"
+        tier = f" opt={self.opt}" if self.opt not in (None, "none") else ""
+        return f"<SolverContext {self.format_name}{sel}{tier} [{parts}]>"
 
 
 MatVec = Callable[[np.ndarray], np.ndarray]

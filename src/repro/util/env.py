@@ -18,10 +18,11 @@ from __future__ import annotations
 
 import math
 import os
+import shlex
 import warnings
-from typing import Optional, Union
+from typing import List, Optional, Sequence, Union
 
-__all__ = ["EnvVarWarning", "env_int", "env_float"]
+__all__ = ["EnvVarWarning", "env_int", "env_float", "env_flags", "env_choice"]
 
 
 class EnvVarWarning(UserWarning):
@@ -75,3 +76,36 @@ def env_float(name: str, default: float, *,
 
     Same contract as :func:`env_int`; NaN is treated as malformed."""
     return _env_number(name, default, float, "a number", minimum)
+
+
+def env_flags(name: str) -> List[str]:
+    """Shell-style flag list from ``os.environ[name]`` (``shlex.split``).
+
+    Unset or empty returns ``[]`` silently; an unparseable value (e.g. an
+    unterminated quote) warns with :class:`EnvVarWarning`, counts
+    ``env.parse_errors``, and returns ``[]`` — exactly as if the variable
+    were unset."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return []
+    try:
+        return shlex.split(raw)
+    except ValueError as e:
+        _warn(name, raw, f"not a parseable flag list ({e})", [])
+        return []
+
+
+def env_choice(name: str, default: str, choices: Sequence[str]) -> str:
+    """``os.environ[name]`` restricted to an allowed set of values.
+
+    Unset or empty returns ``default`` silently; any other value outside
+    ``choices`` warns with :class:`EnvVarWarning`, counts
+    ``env.parse_errors``, and returns ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    value = raw.strip()
+    if value not in choices:
+        _warn(name, raw, f"must be one of {sorted(choices)}", default)
+        return default
+    return value
